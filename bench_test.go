@@ -1,0 +1,445 @@
+// Package repro_test hosts the benchmark harness: one benchmark per table
+// and figure of the ERASER paper (see DESIGN.md's experiment index), plus
+// ablation benchmarks for the design choices the paper calls out and
+// micro-benchmarks of the substrates. Benchmarks run scaled-down shot counts
+// so `go test -bench=. -benchmem` finishes on a laptop; cmd/leakage runs the
+// full-scale sweeps. Key shape metrics are attached with b.ReportMetric so
+// the bench output doubles as a compact reproduction summary.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/experiment"
+	"repro/internal/matching"
+	"repro/internal/noise"
+	"repro/internal/qudit"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// benchOpts returns laptop-scale sweep options shared by figure benchmarks.
+func benchOpts() experiment.Options {
+	return experiment.Options{
+		Shots:     120,
+		Seed:      2023,
+		P:         1e-3,
+		Distances: []int{3, 5},
+		Cycles:    4,
+		Distance:  5,
+	}
+}
+
+// --------------------------------------------------- analytic (Eqs, Table 2)
+
+func BenchmarkEquations12(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += analytic.PDataLeaksGivenParityLeaked(analytic.PLeakCNOT, analytic.PLeakTransport)
+		sink += analytic.PParityLeaksGivenDataLeaked(analytic.PLeakCNOT, analytic.PLeakTransport)
+	}
+	_ = sink
+	b.ReportMetric(analytic.PDataLeaksGivenParityLeaked(analytic.PLeakCNOT, analytic.PLeakTransport), "eq1")
+	b.ReportMetric(analytic.PParityLeaksGivenDataLeaked(analytic.PLeakCNOT, analytic.PLeakTransport), "eq2")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var sink []float64
+	for i := 0; i < b.N; i++ {
+		sink = analytic.InvisibilityTable(3)
+	}
+	b.ReportMetric(sink[0], "pct_visible_now")
+}
+
+// ------------------------------------------------------- Figures 1(c), 2(c)
+
+func BenchmarkFigure1c(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5
+	o.Cycles = 3
+	o.Shots = 80
+	var cs *experiment.CycleSeries
+	for i := 0; i < b.N; i++ {
+		cs = experiment.Figure1c(o)
+	}
+	last := len(cs.Cycles) - 1
+	b.ReportMetric(cs.LER[0][last], "LER_noLRC")
+	b.ReportMetric(cs.LER[1][last], "LER_always")
+	b.ReportMetric(cs.LER[2][last], "LER_optimal")
+}
+
+func BenchmarkFigure2c(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5
+	o.Cycles = 3
+	o.Shots = 80
+	var cs *experiment.CycleSeries
+	for i := 0; i < b.N; i++ {
+		cs = experiment.Figure2c(o)
+	}
+	last := len(cs.Cycles) - 1
+	b.ReportMetric(stats.Ratio(cs.LER[1][last], cs.LER[0][last]), "leakage_penalty_x")
+}
+
+// --------------------------------------------------------- Figures 5 and 6
+
+func BenchmarkFigure5(b *testing.B) {
+	o := benchOpts()
+	var rs *experiment.RoundSeries
+	for i := 0; i < b.N; i++ {
+		rs = experiment.Figure5(o)
+	}
+	b.ReportMetric(stats.Max(rs.LPR[0])*1e4, "peak_LPR_1e-4")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	o := benchOpts()
+	o.Cycles = 3
+	o.Shots = 80
+	var lpr *experiment.RoundSeries
+	for i := 0; i < b.N; i++ {
+		lpr, _ = experiment.Figure6(o)
+	}
+	b.ReportMetric(stats.Ratio(stats.Mean(lpr.LPR[1]), stats.Mean(lpr.LPR[0])), "always_over_optimal_LPR")
+}
+
+// ------------------------------------------------------------- Figure 8
+
+func BenchmarkFigure8(b *testing.B) {
+	var pts []qudit.StudyPoint
+	for i := 0; i < b.N; i++ {
+		pts = qudit.Study(qudit.StudyParams{})
+	}
+	b.ReportMetric(pts[6].Leak[4], "parity_leak_at_A")
+	b.ReportMetric(pts[len(pts)-1].PCorrect, "p_correct_at_C")
+}
+
+// ------------------------------------------------- Figures 14-16, Table 4
+
+func BenchmarkFigure14(b *testing.B) {
+	o := benchOpts()
+	var s *experiment.DistanceSweep
+	for i := 0; i < b.N; i++ {
+		s = experiment.Figure14(o)
+	}
+	imp := s.Improvement(1, 0) // Always / ERASER
+	b.ReportMetric(stats.Max(imp), "eraser_improvement_x")
+	impM := s.Improvement(1, 2)
+	b.ReportMetric(stats.Max(impM), "eraserM_improvement_x")
+}
+
+func BenchmarkFigure14LowP(b *testing.B) {
+	o := benchOpts()
+	o.P = 1e-4
+	o.Shots = 150
+	var s *experiment.DistanceSweep
+	for i := 0; i < b.N; i++ {
+		s = experiment.Figure14(o)
+	}
+	b.ReportMetric(stats.Max(s.Improvement(1, 0)), "eraser_improvement_x")
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5 // scaled from the paper's d=11
+	var rs *experiment.RoundSeries
+	for i := 0; i < b.N; i++ {
+		rs = experiment.Figure15(o)
+	}
+	b.ReportMetric(stats.Mean(rs.LPR[1])*1e4, "always_LPR_1e-4")
+	b.ReportMetric(stats.Mean(rs.LPR[0])*1e4, "eraser_LPR_1e-4")
+}
+
+func BenchmarkFigure16Table4(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5
+	var rep *experiment.AccuracyReport
+	for i := 0; i < b.N; i++ {
+		rep = experiment.Figure16Table4(o)
+	}
+	b.ReportMetric(rep.Accuracy[1][len(rep.Distances)-1], "eraser_accuracy_pct")
+	b.ReportMetric(rep.FNR[1], "eraser_FNR_pct")
+	b.ReportMetric(rep.FNR[2], "eraserM_FNR_pct")
+	b.ReportMetric(rep.LRCsPerRound[0][len(rep.Distances)-1], "always_LRCs_per_round")
+	b.ReportMetric(rep.LRCsPerRound[1][len(rep.Distances)-1], "eraser_LRCs_per_round")
+}
+
+// ----------------------------------------------------------------- Table 3
+
+func BenchmarkTable3(b *testing.B) {
+	var res rtl.Resources
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{3, 5, 7, 9, 11} {
+			r, err := rtl.Estimate(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res = r
+		}
+	}
+	b.ReportMetric(res.LUTPercent, "d11_LUT_pct")
+	b.ReportMetric(res.FFPercent, "d11_FF_pct")
+	b.ReportMetric(res.LatencyNS, "d11_latency_ns")
+}
+
+func BenchmarkRTLGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := rtl.Generate(9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------- Appendix A.1 (Figures 17, 18)
+
+func BenchmarkFigure17(b *testing.B) {
+	o := benchOpts()
+	o.Transport = noise.TransportExchange
+	var s *experiment.DistanceSweep
+	for i := 0; i < b.N; i++ {
+		s = experiment.Figure14(o)
+	}
+	b.ReportMetric(stats.Max(s.Improvement(1, 0)), "eraser_improvement_x")
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5
+	o.Transport = noise.TransportExchange
+	var rs *experiment.RoundSeries
+	for i := 0; i < b.N; i++ {
+		rs = experiment.Figure15(o)
+	}
+	b.ReportMetric(stats.Mean(rs.LPR[1])*1e4, "always_LPR_1e-4")
+}
+
+// ------------------------------------------- Appendix A.2 (Figures 20, 21)
+
+func BenchmarkFigure20(b *testing.B) {
+	o := benchOpts()
+	o.Protocol = circuit.ProtocolDQLR
+	o.Transport = noise.TransportExchange
+	var s *experiment.DistanceSweep
+	for i := 0; i < b.N; i++ {
+		s = experiment.Figure14(o)
+	}
+	b.ReportMetric(stats.Max(s.Improvement(1, 0)), "eraser_improvement_x")
+}
+
+func BenchmarkFigure21(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 5
+	o.Protocol = circuit.ProtocolDQLR
+	o.Transport = noise.TransportExchange
+	var rs *experiment.RoundSeries
+	for i := 0; i < b.N; i++ {
+		rs = experiment.Figure15(o)
+	}
+	b.ReportMetric(stats.Mean(rs.LPR[1])*1e4, "dqlr_LPR_1e-4")
+	b.ReportMetric(stats.Mean(rs.LPR[0])*1e4, "eraser_dqlr_LPR_1e-4")
+}
+
+// ------------------------------------------------------------- Ablations
+
+// runAblation measures the LER of a tuned ERASER variant.
+func runAblation(b *testing.B, tune func(core.Policy)) float64 {
+	b.Helper()
+	res := experiment.Run(experiment.Config{
+		Distance: 5, Cycles: 4, P: 1e-3, Shots: 150, Seed: 31,
+		Policy: core.PolicyEraser, Tune: tune,
+	})
+	return res.LER
+}
+
+// BenchmarkAblationThreshold explores Insight #2: speculating at 1 flip
+// (conservative, too many LRCs) or 3 flips (aggressive, leakage lingers)
+// versus the paper's half-of-neighbors rule.
+func BenchmarkAblationThreshold(b *testing.B) {
+	var def, t1, t3 float64
+	for i := 0; i < b.N; i++ {
+		def = runAblation(b, nil)
+		t1 = runAblation(b, func(p core.Policy) { p.(*core.Eraser).LSB().SetThreshold(1) })
+		t3 = runAblation(b, func(p core.Policy) { p.(*core.Eraser).LSB().SetThreshold(3) })
+	}
+	b.ReportMetric(def, "LER_half_rule")
+	b.ReportMetric(t1, "LER_threshold1")
+	b.ReportMetric(t3, "LER_threshold3")
+}
+
+// BenchmarkAblationPUTT disables the parity-qubit cooldown.
+func BenchmarkAblationPUTT(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = runAblation(b, nil)
+		without = runAblation(b, func(p core.Policy) { p.(*core.Eraser).DLI().SetUsePUTT(false) })
+	}
+	b.ReportMetric(with, "LER_with_PUTT")
+	b.ReportMetric(without, "LER_without_PUTT")
+}
+
+// BenchmarkAblationBackups disables the backup SWAP Lookup Table entries.
+func BenchmarkAblationBackups(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = runAblation(b, nil)
+		without = runAblation(b, func(p core.Policy) { p.(*core.Eraser).DLI().SetUseBackup(false) })
+	}
+	b.ReportMetric(with, "LER_with_backup")
+	b.ReportMetric(without, "LER_without_backup")
+}
+
+// BenchmarkAblationDecoder compares the MWPM and union-find decoding engines
+// end to end on identical experiments.
+func BenchmarkAblationDecoder(b *testing.B) {
+	var mwpm, uf float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.Config{Distance: 5, Cycles: 4, P: 1e-3, Shots: 150,
+			Seed: 31, Policy: core.PolicyEraser}
+		mwpm = experiment.Run(cfg).LER
+		cfg.UseUnionFind = true
+		uf = experiment.Run(cfg).LER
+	}
+	b.ReportMetric(mwpm, "LER_mwpm")
+	b.ReportMetric(uf, "LER_unionfind")
+}
+
+// BenchmarkUnionFindDecodeD7 measures the union-find engine on a flooded
+// event set.
+func BenchmarkUnionFindDecodeD7(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	dec := decoder.NewUnionFind(l, surfacecode.KindZ, 70)
+	rng := stats.NewRNG(2, 2)
+	events := make([]decoder.Event, 40)
+	for i := range events {
+		events[i] = decoder.Event{Z: rng.IntN(l.NumZ()), Round: 1 + rng.IntN(70)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(events)
+	}
+}
+
+// BenchmarkMemoryXShot exercises the memory-X pipeline.
+func BenchmarkMemoryXShot(b *testing.B) {
+	cfg := experiment.Config{Distance: 5, Cycles: 5, P: 1e-3, Shots: 1, Seed: 4,
+		Policy: core.PolicyEraser, Basis: surfacecode.KindX, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		experiment.Run(cfg)
+	}
+}
+
+// BenchmarkTable2Empirical measures the leakage-visibility distribution
+// (the empirical Table 2).
+func BenchmarkTable2Empirical(b *testing.B) {
+	var v *experiment.VisibilityStats
+	for i := 0; i < b.N; i++ {
+		v = experiment.MeasureVisibility(5, 30, 60, 2e-3, 7, 3)
+	}
+	b.ReportMetric(v.Percent()[0], "pct_visible_round0")
+}
+
+// BenchmarkPostSelection measures the Section 2.4 post-processing baseline.
+func BenchmarkPostSelection(b *testing.B) {
+	var ps *experiment.PostSelection
+	for i := 0; i < b.N; i++ {
+		ps = experiment.RunPostSelection(experiment.Config{
+			Distance: 5, Cycles: 4, P: 1e-3, Shots: 200, Seed: 9}, 2, 2)
+	}
+	b.ReportMetric(ps.LERAll(), "LER_all")
+	b.ReportMetric(ps.LERKept(), "LER_kept")
+	b.ReportMetric(ps.DiscardFraction(), "discard_fraction")
+}
+
+// BenchmarkAblationMatcher compares the exact and greedy matching engines on
+// identical event sets.
+func BenchmarkAblationMatcher(b *testing.B) {
+	rng := stats.NewRNG(7, 7)
+	const n = 14
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64()*10, rng.Float64()*10
+	}
+	inst := matching.Instance{
+		N: n,
+		PairWeight: func(i, j int) float64 {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			return dx + dy
+		},
+		BoundaryWeight: func(i int) float64 { return 3 + xs[i]/10 },
+	}
+	var exact, refined matching.Result
+	for i := 0; i < b.N; i++ {
+		exact = matching.Exact(inst)
+		refined = matching.Refine(inst, matching.Greedy(inst), 8)
+	}
+	b.ReportMetric(exact.Weight, "exact_weight")
+	b.ReportMetric(refined.Weight, "refined_weight")
+}
+
+// -------------------------------------------------------- substrate micro
+
+func BenchmarkSimRoundD7(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	s := sim.New(l, noise.Standard(1e-3), stats.NewRNG(1, 1))
+	builder := circuit.NewBuilder(l)
+	ops := builder.Round(circuit.Plan{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRound(ops)
+	}
+}
+
+func BenchmarkDecodeD7(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	dec := decoder.New(l, decoder.DefaultConfig())
+	rng := stats.NewRNG(2, 2)
+	// A representative flooded shot: 40 events across 70 rounds.
+	events := make([]decoder.Event, 40)
+	for i := range events {
+		events[i] = decoder.Event{Z: rng.IntN(l.NumZ()), Round: 1 + rng.IntN(70)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(events)
+	}
+}
+
+func BenchmarkQuditCNOT(b *testing.B) {
+	d := qudit.New(5)
+	u := qudit.CNOT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyUnitary2(0, 4, u)
+	}
+}
+
+func BenchmarkLayoutConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		surfacecode.MustNew(11)
+	}
+}
+
+func BenchmarkMemoryExperimentShot(b *testing.B) {
+	cfg := experiment.Config{Distance: 5, Cycles: 5, P: 1e-3, Shots: 1, Seed: 4,
+		Policy: core.PolicyEraser, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		experiment.Run(cfg)
+	}
+}

@@ -1,0 +1,48 @@
+// Command eraserrtl mirrors the paper artifact's eraser_rtl_gen tool: it
+// emits the SystemVerilog for the ERASER datapath at a given code distance,
+// or a Table 3-style utilization report for a range of distances.
+//
+//	eraserrtl 9 > eraser_d9.sv     # RTL for distance 9
+//	eraserrtl -report              # Table 3 estimate for d = 3..11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/rtl"
+)
+
+func main() {
+	report := flag.Bool("report", false, "print the Table 3 utilization estimate instead of RTL")
+	flag.Parse()
+
+	if *report {
+		s, err := rtl.Table3([]int{3, 5, 7, 9, 11})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+	d := 9
+	if flag.NArg() > 0 {
+		v, err := strconv.Atoi(flag.Arg(0))
+		if err != nil {
+			fatal(fmt.Errorf("bad distance %q: %v", flag.Arg(0), err))
+		}
+		d = v
+	}
+	sv, err := rtl.Generate(d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(sv)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eraserrtl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Command leakage is the experiment driver for the ERASER reproduction,
+// mirroring the paper artifact's leakage binary. It regenerates the data
+// behind every table and figure in the evaluation:
+//
+//	leakage -exp fig5                    # LPR under Always-LRCs (Figure 5)
+//	leakage -exp fig14 -p 1e-3           # LER vs distance (Figure 14)
+//	leakage -exp fig16                   # speculation accuracy + Table 4
+//	leakage -exp fig17                   # Appendix A.1 transport model
+//	leakage -exp fig20                   # Appendix A.2 DQLR protocol
+//	leakage -exp all -shots 2000         # everything
+//
+// Shot counts default to laptop scale; raise -shots toward the paper's 10M+
+// for publication-grade statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/noise"
+	"repro/internal/qudit"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig1c fig2c eqs table2 table2emp fig5 fig6 fig8 fig14 fig15 fig16 table4 fig17 fig18 fig20 fig21 postselect latency all")
+		p         = flag.Float64("p", 1e-3, "physical error rate")
+		shots     = flag.Int("shots", 1000, "Monte-Carlo shots per data point")
+		seed      = flag.Uint64("seed", 2023, "random seed")
+		workers   = flag.Int("workers", 0, "shot parallelism (0 = GOMAXPROCS)")
+		cycles    = flag.Int("cycles", 10, "QEC cycles per experiment")
+		distances = flag.String("d", "3,5,7,9,11", "comma-separated code distances")
+		distance  = flag.Int("distance", 0, "single distance for per-round figures (0 = paper default)")
+	)
+	flag.Parse()
+
+	ds, err := parseDistances(*distances)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakage:", err)
+		os.Exit(2)
+	}
+	opt := experiment.Options{
+		Shots:     *shots,
+		Seed:      *seed,
+		Workers:   *workers,
+		P:         *p,
+		Distances: ds,
+		Cycles:    *cycles,
+		Distance:  *distance,
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"eqs", "table2", "table2emp", "fig1c", "fig2c", "fig5",
+			"fig6", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig20",
+			"fig21", "postselect", "latency"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := run(strings.TrimSpace(name), opt); err != nil {
+			fmt.Fprintln(os.Stderr, "leakage:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, opt experiment.Options) error {
+	switch name {
+	case "eqs":
+		pl, plt := analytic.PLeakCNOT, analytic.PLeakTransport
+		fmt.Printf("Section 3.1 analytic leakage-transport model\n")
+		fmt.Printf("Eq (1)  P(L_data|L_parity) = %.4f  (paper: ~0.10)\n",
+			analytic.PDataLeaksGivenParityLeaked(pl, plt))
+		fmt.Printf("Eq (2)  P(L_parity|L_data) = %.4f  (paper: ~0.34)\n",
+			analytic.PParityLeaksGivenDataLeaked(pl, plt))
+		fmt.Printf("amplification = %.2fx (paper: ~3x)\n", analytic.TransportAmplification(pl, plt))
+	case "table2":
+		fmt.Println("Table 2: invisible leakage probability (%)")
+		for r, v := range analytic.InvisibilityTable(3) {
+			fmt.Printf("  %d rounds invisible: %6.2f\n", r, v)
+		}
+	case "table2emp":
+		v := experiment.MeasureVisibility(5, 40, opt.Shots/2, 2*opt.P, opt.Seed, 3)
+		fmt.Print(v)
+	case "postselect":
+		ps := experiment.RunPostSelection(experiment.Config{
+			Distance: 5, Cycles: opt.Cycles, P: opt.P, Shots: opt.Shots,
+			Seed: opt.Seed,
+		}, 2, 2)
+		fmt.Print(ps)
+	case "fig1c":
+		fmt.Print(experiment.Figure1c(opt))
+	case "fig2c":
+		fmt.Print(experiment.Figure2c(opt))
+	case "fig5":
+		fmt.Print(experiment.Figure5(opt))
+	case "fig6":
+		lpr, ler := experiment.Figure6(opt)
+		fmt.Print(lpr)
+		fmt.Print(ler)
+	case "fig8":
+		printStudy()
+	case "fig14":
+		s := experiment.Figure14(opt)
+		s.Title = "Figure 14: LER vs code distance"
+		fmt.Print(s)
+		printImprovements(s)
+	case "fig15":
+		rs := experiment.Figure15(opt)
+		rs.Title = "Figure 15: " + rs.Title
+		fmt.Print(rs)
+	case "fig16", "table4":
+		fmt.Print(experiment.Figure16Table4(opt))
+	case "fig17":
+		opt.Transport = noise.TransportExchange
+		s := experiment.Figure14(opt)
+		s.Title = "Figure 17: LER vs distance (exchange transport)"
+		fmt.Print(s)
+		printImprovements(s)
+	case "fig18":
+		opt.Transport = noise.TransportExchange
+		rs := experiment.Figure15(opt)
+		rs.Title = "Figure 18: " + rs.Title + " (exchange transport)"
+		fmt.Print(rs)
+	case "fig20":
+		opt.Protocol = circuit.ProtocolDQLR
+		opt.Transport = noise.TransportExchange
+		s := experiment.Figure14(opt)
+		s.Title = "Figure 20: LER vs distance (DQLR protocol)"
+		fmt.Print(s)
+		printImprovements(s)
+	case "fig21":
+		opt.Protocol = circuit.ProtocolDQLR
+		opt.Transport = noise.TransportExchange
+		rs := experiment.Figure15(opt)
+		rs.Title = "Figure 21: " + rs.Title + " (DQLR protocol)"
+		fmt.Print(rs)
+	case "latency":
+		fmt.Println("Real-time scheduling constraint (Section 4.3 / Figure 12)")
+		for _, d := range []int{3, 5, 7, 9, 11} {
+			fmt.Printf("  d=%2d  estimated latency %.1f ns, window %d ns, meets deadline: %v\n",
+				d, core.EstimateLatencyNS(d), core.DecisionWindowNS, core.MeetsDeadline(d))
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func printStudy() {
+	fmt.Println("Figure 8: density-matrix study of leakage spread on a Z stabilizer")
+	fmt.Println("(q0 initialized in |2>; LRC round then plain round)")
+	fmt.Printf("%-14s %6s %6s %6s %6s %6s  %9s %8s\n",
+		"step", "q0", "q1", "q2", "q3", "P", "P(correct)", "P(|L>)")
+	for _, pt := range qudit.Study(qudit.StudyParams{}) {
+		fmt.Printf("%-14s %6.3f %6.3f %6.3f %6.3f %6.3f  %9.3f %8.3f\n",
+			pt.Step, pt.Leak[0], pt.Leak[1], pt.Leak[2], pt.Leak[3], pt.Leak[4],
+			pt.PCorrect, pt.PLeakedOutcome)
+	}
+}
+
+func printImprovements(s *experiment.DistanceSweep) {
+	// Series order from Figure14: ERASER, Always, ERASER+M, Optimal.
+	impE := s.Improvement(1, 0) // Always / ERASER
+	impM := s.Improvement(1, 2) // Always / ERASER+M
+	fmt.Printf("ERASER improvement over %s:   mean %.1fx  max %.1fx\n",
+		s.Names[1], mean(impE), max(impE))
+	fmt.Printf("ERASER+M improvement over %s: mean %.1fx  max %.1fx\n",
+		s.Names[1], mean(impM), max(impM))
+}
+
+func mean(xs []float64) float64 {
+	var t float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			t += x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return t / float64(n)
+}
+
+func max(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func parseDistances(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad distance %q: %v", part, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

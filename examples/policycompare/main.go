@@ -1,0 +1,45 @@
+// Policy comparison: a compact version of the paper's headline experiment
+// (Figure 14) — logical error rate versus code distance for Always-LRCs,
+// ERASER, ERASER+M and Optimal scheduling — plus the speculation-accuracy
+// breakdown of Figure 16 at the largest distance.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	distances := []int{3, 5, 7}
+	kinds := []core.Kind{core.PolicyAlways, core.PolicyEraser, core.PolicyEraserM, core.PolicyOptimal}
+	const shots = 500
+
+	fmt.Println("LER after 10 QEC cycles at p=1e-3 (compact Figure 14)")
+	fmt.Printf("%-4s", "d")
+	for _, k := range kinds {
+		fmt.Printf("%14s", k)
+	}
+	fmt.Println()
+	var last []*experiment.Result
+	for _, d := range distances {
+		fmt.Printf("%-4d", d)
+		last = last[:0]
+		for _, k := range kinds {
+			res := experiment.Run(experiment.Config{
+				Distance: d, Cycles: 10, P: 1e-3, Shots: shots, Seed: 7, Policy: k,
+			})
+			last = append(last, &res)
+			fmt.Printf("%14.4f", res.LER)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nSpeculation quality at d=%d (compact Figure 16):\n", distances[len(distances)-1])
+	for i, k := range kinds {
+		r := last[i]
+		fmt.Printf("%-12s accuracy %5.1f%%  FPR %5.1f%%  FNR %5.1f%%  LRCs/round %6.2f\n",
+			k, 100*r.Accuracy(), 100*r.FPR(), 100*r.FNR(), r.LRCsPerRound)
+	}
+}

@@ -1,0 +1,29 @@
+// Quickstart: run a small memory experiment with ERASER and print the
+// logical error rate, leakage population, and LRC usage. This is the
+// shortest end-to-end path through the library: pick a distance, a physical
+// error rate, and a policy, then call experiment.Run.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	fmt.Println("ERASER quickstart: d=5 surface code, 5 QEC cycles, p=1e-3")
+	for _, kind := range []core.Kind{core.PolicyAlways, core.PolicyEraser, core.PolicyEraserM} {
+		res := experiment.Run(experiment.Config{
+			Distance: 5,
+			Cycles:   5,
+			P:        1e-3,
+			Shots:    500,
+			Seed:     42,
+			Policy:   kind,
+		})
+		fmt.Printf("%-12s LER = %.4f [%.4f, %.4f]   mean LPR = %.1fe-4   LRCs/round = %.2f\n",
+			res.PolicyName, res.LER, res.LERLow, res.LERHigh,
+			res.MeanLPR()*1e4, res.LRCsPerRound)
+	}
+}

@@ -1,0 +1,34 @@
+// Stabilizer simulation: run the Section 3.3 ququart density-matrix study
+// (Figures 7 and 8) and print how leakage initialized on one data qubit
+// spreads through an LRC round, corrupts the parity measurement, and
+// contaminates the neighboring data qubits in the following round.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/qudit"
+)
+
+func main() {
+	fmt.Println("Density-matrix study of a Z stabilizer with q0 leaked (|2>)")
+	fmt.Println("LRC round followed by a plain round; RX(0.65*pi), pLT=0.1")
+	fmt.Println()
+	fmt.Printf("%-14s %6s %6s %6s %6s %6s  %10s %8s\n",
+		"step", "q0", "q1", "q2", "q3", "P", "P(correct)", "P(|L>)")
+	pts := qudit.Study(qudit.StudyParams{})
+	for i, pt := range pts {
+		marker := ""
+		switch i {
+		case 3:
+			marker = "  <- point B: measurement randomized"
+		case 6:
+			marker = "  <- point A: LRC transported leakage onto P"
+		case len(pts) - 1:
+			marker = "  <- point C: barely better than random"
+		}
+		fmt.Printf("%-14s %6.3f %6.3f %6.3f %6.3f %6.3f  %10.3f %8.3f%s\n",
+			pt.Step, pt.Leak[0], pt.Leak[1], pt.Leak[2], pt.Leak[3], pt.Leak[4],
+			pt.PCorrect, pt.PLeakedOutcome, marker)
+	}
+}

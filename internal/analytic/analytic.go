@@ -1,0 +1,94 @@
+// Package analytic implements the closed-form leakage models from Section 3.1
+// and Section 4.1.1 of the ERASER paper: the probability that syndrome
+// extraction transports leakage between data and parity qubits with and
+// without an LRC (Equations 1 and 2), the probability that a leaked data
+// qubit remains invisible to syndrome extraction for r rounds (Equation 3 /
+// Table 2), and the two-qubit-operation counts that motivate adaptive LRC
+// scheduling.
+package analytic
+
+import "math"
+
+// Constants from Table 1 of the paper, at physical error rate p = 1e-3.
+const (
+	// PLeakCNOT is the probability of a CNOT leakage error (0.1 * p).
+	PLeakCNOT = 1e-4
+	// PLeakTransport is the probability a CNOT transports leakage from a
+	// leaked operand to an unleaked one.
+	PLeakTransport = 0.1
+)
+
+// CNOT counts for a parity qubit in one syndrome extraction round
+// (Figure 1(b) / Figure 4): 4 without an LRC, 9 with an LRC (two SWAPs cost
+// five extra CNOTs because one merges with the final extraction CNOT).
+const (
+	CNOTsPerRound    = 4
+	CNOTsPerRoundLRC = 9
+	// TransportWindowLRC is the number of CNOTs between the parity qubit and
+	// a leaked data qubit that occur before the data qubit is reset during an
+	// LRC, i.e. the CNOTs that can transport leakage (Section 3.1.2).
+	TransportWindowLRC = 4
+)
+
+// geometricHazard returns the probability that at least one of n independent
+// trials with per-trial probability p fires, written as the paper writes it:
+// sum over k of (1-p)^(k-1) p.
+func geometricHazard(p float64, n int) float64 {
+	var total float64
+	q := 1.0
+	for k := 1; k <= n; k++ {
+		total += q * p
+		q *= 1 - p
+	}
+	return total
+}
+
+// PDataLeaksGivenParityLeaked evaluates Equation (1): the probability a data
+// qubit becomes leaked by the end of a round without an LRC, given its parity
+// qubit started the round leaked. pl is the per-CNOT leakage probability and
+// plt the per-CNOT transport probability.
+func PDataLeaksGivenParityLeaked(pl, plt float64) float64 {
+	return plt + geometricHazard(pl, CNOTsPerRound)
+}
+
+// PParityLeaksGivenDataLeaked evaluates Equation (2): the probability a
+// parity qubit becomes leaked by the end of a round with an LRC, given the
+// data qubit it swaps with started the round leaked.
+func PParityLeaksGivenDataLeaked(pl, plt float64) float64 {
+	return geometricHazard(pl, CNOTsPerRoundLRC) + geometricHazard(plt, TransportWindowLRC)
+}
+
+// TransportAmplification is the ratio of Equation (2) to Equation (1): how
+// much more readily an LRC round spreads leakage onto a parity qubit than a
+// plain round spreads it onto a data qubit. The paper reports roughly 3x.
+func TransportAmplification(pl, plt float64) float64 {
+	return PParityLeaksGivenDataLeaked(pl, plt) / PDataLeaksGivenParityLeaked(pl, plt)
+}
+
+// PInvisible evaluates Equation (3): the probability a leaked data qubit
+// remains invisible to syndrome extraction for exactly r rounds. A leaked
+// data qubit with four parity neighbors evades all four measurements in a
+// round with probability (1/2)^4 = 1/16.
+func PInvisible(r int) float64 {
+	if r < 0 {
+		return 0
+	}
+	return (15.0 / 16.0) * math.Pow(1.0/16.0, float64(r))
+}
+
+// InvisibilityTable returns Table 2: PInvisible(r) for r = 0..maxRounds,
+// expressed as percentages.
+func InvisibilityTable(maxRounds int) []float64 {
+	out := make([]float64, maxRounds+1)
+	for r := 0; r <= maxRounds; r++ {
+		out[r] = 100 * PInvisible(r)
+	}
+	return out
+}
+
+// SpeculationThreshold returns the LSB cutoff for a data qubit with the given
+// number of parity neighbors: leakage is speculated when at least half of the
+// neighboring parity checks flip (Section 4.2.1).
+func SpeculationThreshold(neighbors int) int {
+	return (neighbors + 1) / 2
+}

@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquation1(t *testing.T) {
+	// The paper estimates P(L_data | L_parity) at about 10%.
+	got := PDataLeaksGivenParityLeaked(PLeakCNOT, PLeakTransport)
+	if math.Abs(got-0.1004) > 1e-4 {
+		t.Fatalf("Eq(1) = %v, want ~0.1004", got)
+	}
+}
+
+func TestEquation2(t *testing.T) {
+	// The paper estimates P(L_parity | L_data) at about 34%.
+	got := PParityLeaksGivenDataLeaked(PLeakCNOT, PLeakTransport)
+	if math.Abs(got-0.3448) > 1e-3 {
+		t.Fatalf("Eq(2) = %v, want ~0.3448", got)
+	}
+}
+
+func TestTransportAmplification(t *testing.T) {
+	// Section 3.1.3: Eq(2) is about 3x Eq(1).
+	got := TransportAmplification(PLeakCNOT, PLeakTransport)
+	if got < 3 || got > 4 {
+		t.Fatalf("amplification = %v, want ~3.4", got)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	// Table 2 of the paper, in percent.
+	want := []float64{93.8, 5.90, 0.36, 0.02}
+	got := InvisibilityTable(3)
+	for r := range want {
+		if math.Abs(got[r]-want[r]) > 0.05 {
+			t.Errorf("P_invis(%d) = %v%%, want %v%%", r, got[r], want[r])
+		}
+	}
+}
+
+func TestInvisibilitySumsToOne(t *testing.T) {
+	// Sum over r of (15/16)(1/16)^r is a geometric series converging to 1.
+	var sum float64
+	for r := 0; r < 40; r++ {
+		sum += PInvisible(r)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum of invisibility distribution = %v", sum)
+	}
+	if PInvisible(-1) != 0 {
+		t.Fatal("negative rounds should have probability 0")
+	}
+}
+
+// TestGeometricHazard checks the closed form: the hazard over n trials
+// equals 1 - (1-p)^n for arbitrary p and small n.
+func TestGeometricHazard(t *testing.T) {
+	f := func(pRaw uint16, nRaw uint8) bool {
+		p := float64(pRaw) / 65535.0
+		n := int(nRaw%12) + 1
+		got := geometricHazard(p, n)
+		want := 1 - math.Pow(1-p, float64(n))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeculationThreshold(t *testing.T) {
+	// Section 4.2.1: at least half of the neighboring parity qubits.
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3}
+	for n, want := range cases {
+		if got := SpeculationThreshold(n); got != want {
+			t.Errorf("SpeculationThreshold(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOpCountsMatchFigure1b(t *testing.T) {
+	// Figure 1(b): an LRC raises two-qubit operations from 4 to 9.
+	if CNOTsPerRound != 4 || CNOTsPerRoundLRC != 9 {
+		t.Fatalf("op counts = %d/%d, want 4/9", CNOTsPerRound, CNOTsPerRoundLRC)
+	}
+}

@@ -1,0 +1,250 @@
+// Package circuit defines the gate-level intermediate representation for
+// syndrome extraction rounds and builds the three round variants the ERASER
+// paper uses: plain rounds, rounds with SWAP-based leakage reduction circuits
+// (LRCs) on a chosen subset of data qubits, and rounds using Google's DQLR
+// protocol (Appendix A.2). The builder plays the role of the paper's QEC
+// Schedule Generator datapath: given the Dynamic LRC Insertion block's plan
+// it emits the concrete operation sequence for the next round.
+package circuit
+
+import "repro/internal/surfacecode"
+
+// OpKind enumerates the primitive operations understood by the simulator.
+type OpKind uint8
+
+const (
+	// OpReset resets a qubit to |0>, removing any leakage; the simulator
+	// applies an initialization error with probability p afterwards.
+	OpReset OpKind = iota
+	// OpH is a Hadamard on Q0.
+	OpH
+	// OpCNOT is a CNOT with control Q0 and target Q1.
+	OpCNOT
+	// OpMeasure measures Q0 in the Z basis. Stab tags the stabilizer whose
+	// outcome this measurement carries; DataWire marks LRC measurements that
+	// read the stabilizer outcome off the swapped data qubit.
+	OpMeasure
+	// OpCondReturn is the ERASER+M conditional swap-back (Section 4.6.2):
+	// if the LRC data-qubit measurement classified |L>, the QSG squashes the
+	// return SWAP and resets the parity qubit instead; otherwise the state
+	// held on the parity qubit is returned with two CNOTs (the data qubit is
+	// freshly reset, so a full three-CNOT SWAP is unnecessary).
+	OpCondReturn
+	// OpSwapReturn unconditionally returns the parity qubit's held state to
+	// the freshly reset data qubit with two CNOTs (plain ERASER / Always).
+	OpSwapReturn
+	// OpLeakISWAP is DQLR's LeakageISWAP between data qubit Q0 and parity
+	// qubit Q1: it moves leakage from the data qubit to the parity qubit and
+	// can excite the data qubit if the preceding parity reset failed.
+	OpLeakISWAP
+)
+
+// Op is one primitive operation. Q1 and Stab are -1 when unused.
+type Op struct {
+	Kind     OpKind
+	Q0, Q1   int
+	Stab     int
+	DataWire bool
+}
+
+// LRC pairs a data qubit with the stabilizer whose parity qubit it swaps
+// with (SWAP LRC) or performs the DQLR protocol with.
+type LRC struct {
+	Data, Stab int
+}
+
+// Protocol selects the leakage-removal primitive used for planned LRCs.
+type Protocol uint8
+
+const (
+	// ProtocolSwap is the SWAP-based LRC of the main text (Figure 4(b)).
+	ProtocolSwap Protocol = iota
+	// ProtocolDQLR is Google's DQLR protocol (Figure 19(a)).
+	ProtocolDQLR
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == ProtocolDQLR {
+		return "dqlr"
+	}
+	return "swap"
+}
+
+// Plan is the per-round output of an LRC scheduling policy.
+type Plan struct {
+	// LRCs lists the data qubits receiving leakage removal this round, each
+	// with its assigned parity qubit (stabilizer index). At most one LRC per
+	// data qubit and per stabilizer.
+	LRCs []LRC
+	// Protocol selects SWAP LRCs or DQLR.
+	Protocol Protocol
+	// CondReturn enables the ERASER+M conditional swap-back.
+	CondReturn bool
+}
+
+// Builder assembles the operation list for successive rounds of a memory
+// experiment on a fixed layout. It reuses its internal buffer, so the slice
+// returned by Round is only valid until the next call.
+type Builder struct {
+	layout *surfacecode.Layout
+	ops    []Op
+	// lrcOf maps stabilizer index -> planned data qubit (or -1).
+	lrcOf []int
+}
+
+// NewBuilder returns a Builder for the layout.
+func NewBuilder(l *surfacecode.Layout) *Builder {
+	b := &Builder{layout: l, lrcOf: make([]int, l.NumParity)}
+	return b
+}
+
+// TwoQubitOpsPerParity reports the number of two-qubit operations a parity
+// qubit participates in during one round: 4 without an LRC and 9 with one
+// (Figure 1(b)); the forward SWAP costs three CNOTs and the return transfer
+// two, because the swapped-back data qubit starts in |0>.
+func TwoQubitOpsPerParity(withLRC bool) int {
+	if withLRC {
+		return 9
+	}
+	return 4
+}
+
+// Round builds the operation sequence for one syndrome extraction round.
+//
+// A plain round is: H on X ancillas; the four-step CNOT schedule; H on X
+// ancillas; measure and reset every ancilla. With a SWAP LRC on (D, S) the
+// parity state is swapped onto D after extraction, D is measured (carrying
+// S's outcome) and reset — removing any leakage on D — and the state held on
+// the parity qubit is returned afterwards. The parity qubit itself is not
+// reset in an LRC round, which is why the paper's PUTT keeps it out of LRCs
+// in the following round. With DQLR the round is extracted and measured as
+// usual, then parity qubits are reset, LeakageISWAPped with their data
+// qubit, and reset again.
+func (b *Builder) Round(plan Plan) []Op {
+	l := b.layout
+	b.ops = b.ops[:0]
+	for i := range b.lrcOf {
+		b.lrcOf[i] = -1
+	}
+	useSwap := plan.Protocol == ProtocolSwap
+	if useSwap {
+		for _, lrc := range plan.LRCs {
+			b.lrcOf[lrc.Stab] = lrc.Data
+		}
+	}
+
+	// Hadamards opening X-stabilizer extraction.
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		if s.Kind == surfacecode.KindX {
+			b.emit(Op{Kind: OpH, Q0: s.Ancilla, Q1: -1, Stab: -1})
+		}
+	}
+
+	// Four global CNOT steps.
+	for step := 0; step < surfacecode.ExtractionSteps; step++ {
+		for i := range l.Stabilizers {
+			s := &l.Stabilizers[i]
+			d := s.Steps[step]
+			if d < 0 {
+				continue
+			}
+			if s.Kind == surfacecode.KindZ {
+				b.emit(Op{Kind: OpCNOT, Q0: d, Q1: s.Ancilla, Stab: -1})
+			} else {
+				b.emit(Op{Kind: OpCNOT, Q0: s.Ancilla, Q1: d, Stab: -1})
+			}
+		}
+	}
+
+	// Forward SWAPs for LRC'd stabilizers (three CNOTs each; disjoint pairs,
+	// so ordering between pairs is irrelevant).
+	if useSwap {
+		for _, lrc := range plan.LRCs {
+			p := l.Stabilizers[lrc.Stab].Ancilla
+			d := lrc.Data
+			b.emit(Op{Kind: OpCNOT, Q0: p, Q1: d, Stab: -1})
+			b.emit(Op{Kind: OpCNOT, Q0: d, Q1: p, Stab: -1})
+			b.emit(Op{Kind: OpCNOT, Q0: p, Q1: d, Stab: -1})
+		}
+	}
+
+	// Closing Hadamards: applied to whichever wire holds the X-stabilizer
+	// state (the data qubit when an LRC swapped it over).
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		if s.Kind != surfacecode.KindX {
+			continue
+		}
+		wire := s.Ancilla
+		if d := b.lrcOf[s.Index]; d >= 0 {
+			wire = d
+		}
+		b.emit(Op{Kind: OpH, Q0: wire, Q1: -1, Stab: -1})
+	}
+
+	// Measure + reset the wire carrying each stabilizer outcome.
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		wire, dataWire := s.Ancilla, false
+		if d := b.lrcOf[s.Index]; d >= 0 {
+			wire, dataWire = d, true
+		}
+		b.emit(Op{Kind: OpMeasure, Q0: wire, Q1: -1, Stab: s.Index, DataWire: dataWire})
+		b.emit(Op{Kind: OpReset, Q0: wire, Q1: -1, Stab: -1})
+	}
+
+	// Return transfers for SWAP LRCs.
+	if useSwap {
+		kind := OpSwapReturn
+		if plan.CondReturn {
+			kind = OpCondReturn
+		}
+		for _, lrc := range plan.LRCs {
+			p := l.Stabilizers[lrc.Stab].Ancilla
+			b.emit(Op{Kind: kind, Q0: p, Q1: lrc.Data, Stab: lrc.Stab})
+		}
+	}
+
+	// DQLR epilogue: reset parity, LeakageISWAP, reset parity again
+	// (Figure 19(a); the first reset already happened above with the normal
+	// measure+reset).
+	if plan.Protocol == ProtocolDQLR {
+		for _, lrc := range plan.LRCs {
+			p := l.Stabilizers[lrc.Stab].Ancilla
+			b.emit(Op{Kind: OpLeakISWAP, Q0: lrc.Data, Q1: p, Stab: lrc.Stab})
+			b.emit(Op{Kind: OpReset, Q0: p, Q1: -1, Stab: -1})
+		}
+	}
+
+	return b.ops
+}
+
+// FinalMeasurement emits a transversal Z-basis measurement of every data
+// qubit, tagged with Stab = -1; the experiment harness folds the outcomes
+// into the final detector layer and the logical observable.
+func (b *Builder) FinalMeasurement() []Op {
+	b.ops = b.ops[:0]
+	for q := 0; q < b.layout.NumData; q++ {
+		b.emit(Op{Kind: OpMeasure, Q0: q, Q1: -1, Stab: -1})
+	}
+	return b.ops
+}
+
+func (b *Builder) emit(op Op) { b.ops = append(b.ops, op) }
+
+// CountTwoQubitOps returns the number of two-qubit operations in ops,
+// counting OpSwapReturn/OpCondReturn as two CNOTs and OpLeakISWAP as one.
+func CountTwoQubitOps(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCNOT, OpLeakISWAP:
+			n++
+		case OpSwapReturn, OpCondReturn:
+			n += 2
+		}
+	}
+	return n
+}

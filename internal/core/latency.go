@@ -1,0 +1,37 @@
+package core
+
+// Real-time constraint model from Section 4.3 / Figure 12: after the
+// previous round's syndrome reaches the control processor, the QEC Schedule
+// Generator must know whether to insert an LRC before the fourth CNOT of the
+// current round, leaving roughly four CNOT times of slack on Sycamore-class
+// hardware.
+
+const (
+	// CNOTLatencyNS is the Sycamore two-qubit gate latency assumed by the
+	// paper (30 ns).
+	CNOTLatencyNS = 30
+	// DecisionWindowNS is the budget between syndrome arrival and the LRC
+	// insertion point (~120 ns, four CNOTs).
+	DecisionWindowNS = 120
+)
+
+// EstimateLatencyNS models the combinational latency of the ERASER datapath
+// on a Kintex UltraScale+ class FPGA. The pipeline is constant depth in the
+// code distance — a popcount-and-compare per LTT entry, a primary/backup
+// select, and a conflict-resolution mux — so the estimate is a fixed number
+// of LUT levels plus a small routing term that grows with the fanout of the
+// syndrome register. The paper reports a 5 ns worst case up to d = 11.
+func EstimateLatencyNS(distance int) float64 {
+	const (
+		lutLevels  = 4    // threshold compare, PUTT mask, primary/backup mux, output select
+		lutDelayNS = 0.9  // LUT6 + local routing
+		routingNS  = 0.08 // per-distance global fanout growth
+	)
+	return lutLevels*lutDelayNS + routingNS*float64(distance)
+}
+
+// MeetsDeadline reports whether the estimated datapath latency fits the
+// real-time decision window for the given distance.
+func MeetsDeadline(distance int) bool {
+	return EstimateLatencyNS(distance) < DecisionWindowNS
+}

@@ -1,0 +1,191 @@
+// Package decoder implements minimum-weight perfect-matching decoding of the
+// Z-stabilizer detection events of a memory-Z experiment (Section 2.2 of the
+// paper). The decoder precomputes, once per layout, all-pairs shortest-path
+// distances on the Z-stabilizer space graph — whose edges are the data
+// qubits, with the top and bottom lattice boundaries merged into a single
+// virtual node — together with the parity of logical-observable crossings
+// along each shortest path. Decoding a shot then reduces to a matching
+// problem over the detection events with separable space+time distances,
+// solved exactly for small event sets and by refined greedy matching for
+// large ones (see package matching).
+package decoder
+
+import (
+	"math"
+
+	"repro/internal/matching"
+	"repro/internal/surfacecode"
+)
+
+// Engine is the interface shared by the MWPM and union-find decoders: map
+// a shot's detection events to the predicted logical observable flip.
+type Engine interface {
+	Decode(events []Event) uint8
+}
+
+// Config tunes the decoder.
+type Config struct {
+	// SpaceWeight and TimeWeight scale the per-edge costs of spatial (data
+	// qubit) and temporal (measurement) error mechanisms. The defaults are
+	// uniform weights, the standard choice for hardware MWPM decoders.
+	SpaceWeight, TimeWeight float64
+}
+
+// DefaultConfig returns unit space/time weights.
+func DefaultConfig() Config { return Config{SpaceWeight: 1, TimeWeight: 1} }
+
+// Event is one detection event at (kind-ordinal, round); Z holds the dense
+// ordinal of the stabilizer among its kind (surfacecode.Layout.KindOrdinal).
+// The final transversal-measurement detector layer uses round = rounds+1.
+type Event struct {
+	Z     int
+	Round int
+}
+
+// Decoder decodes the detection events of one stabilizer kind for a fixed
+// layout: Z detectors for memory-Z experiments (the default), X detectors
+// for memory-X.
+type Decoder struct {
+	cfg    Config
+	layout *surfacecode.Layout
+	kind   surfacecode.Kind
+	nz     int
+
+	// dist[a][b] is the shortest space-graph distance between Z ordinals a
+	// and b; index nz is the boundary node.
+	dist [][]float64
+	// cross[a][b] is 1 when the shortest path crosses the logical-Z support
+	// an odd number of times.
+	cross [][]uint8
+}
+
+// New builds the memory-Z decoder for a layout.
+func New(l *surfacecode.Layout, cfg Config) *Decoder {
+	return NewForKind(l, cfg, surfacecode.KindZ)
+}
+
+// NewForKind builds a decoder for the detectors of the given stabilizer
+// kind (KindZ decodes X-type errors against the logical Z, KindX decodes
+// Z-type errors against the logical X).
+func NewForKind(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) *Decoder {
+	if cfg.SpaceWeight == 0 && cfg.TimeWeight == 0 {
+		cfg = DefaultConfig()
+	}
+	d := &Decoder{cfg: cfg, layout: l, kind: kind, nz: l.NumKind(kind)}
+	d.buildSpaceGraph()
+	return d
+}
+
+type spaceEdge struct {
+	to    int
+	w     float64
+	cross uint8
+}
+
+func (d *Decoder) buildSpaceGraph() {
+	l := d.layout
+	n := d.nz + 1 // + boundary node
+	boundary := d.nz
+	adj := make([][]spaceEdge, n)
+	isLogical := make([]bool, l.NumData)
+	for _, q := range l.LogicalSupport(d.kind) {
+		isLogical[q] = true
+	}
+	addEdge := func(a, b int, q int) {
+		var c uint8
+		if isLogical[q] {
+			c = 1
+		}
+		w := d.cfg.SpaceWeight
+		adj[a] = append(adj[a], spaceEdge{b, w, c})
+		adj[b] = append(adj[b], spaceEdge{a, w, c})
+	}
+	for q := 0; q < l.NumData; q++ {
+		zs := l.DataKindStabs(d.kind, q)
+		switch len(zs) {
+		case 2:
+			addEdge(l.KindOrdinal(d.kind, zs[0]), l.KindOrdinal(d.kind, zs[1]), q)
+		case 1:
+			addEdge(l.KindOrdinal(d.kind, zs[0]), boundary, q)
+		}
+	}
+
+	d.dist = make([][]float64, n)
+	d.cross = make([][]uint8, n)
+	for src := 0; src < n; src++ {
+		d.dist[src], d.cross[src] = dijkstra(adj, src)
+	}
+}
+
+// dijkstra returns shortest distances from src plus the observable-crossing
+// parity of each shortest path. The graphs are tiny (tens of nodes), so a
+// simple O(V^2) scan is used.
+func dijkstra(adj [][]spaceEdge, src int) ([]float64, []uint8) {
+	n := len(adj)
+	dist := make([]float64, n)
+	cross := make([]uint8, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			if nd := dist[u] + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				cross[e.to] = cross[u] ^ e.cross
+			}
+		}
+	}
+	return dist, cross
+}
+
+// SpaceDistance exposes the precomputed Z-ordinal space distance (tests).
+func (d *Decoder) SpaceDistance(a, b int) float64 { return d.dist[a][b] }
+
+// BoundaryDistance exposes the distance from Z ordinal a to the boundary.
+func (d *Decoder) BoundaryDistance(a int) float64 { return d.dist[a][d.nz] }
+
+// Decode matches the detection events and returns the predicted logical
+// observable flip (the crossing parity of the matched correction).
+func (d *Decoder) Decode(events []Event) uint8 {
+	n := len(events)
+	if n == 0 {
+		return 0
+	}
+	inst := matching.Instance{
+		N: n,
+		PairWeight: func(i, j int) float64 {
+			a, b := events[i], events[j]
+			dt := a.Round - b.Round
+			if dt < 0 {
+				dt = -dt
+			}
+			return d.dist[a.Z][b.Z] + d.cfg.TimeWeight*float64(dt)
+		},
+		BoundaryWeight: func(i int) float64 {
+			return d.dist[events[i].Z][d.nz]
+		},
+	}
+	res := matching.Solve(inst)
+	var flip uint8
+	for i, j := range res.Mate {
+		switch {
+		case j == matching.Boundary:
+			flip ^= d.cross[events[i].Z][d.nz]
+		case j > i:
+			flip ^= d.cross[events[i].Z][events[j].Z]
+		}
+	}
+	return flip
+}

@@ -1,0 +1,316 @@
+package decoder
+
+import (
+	"repro/internal/surfacecode"
+)
+
+// UnionFind is a Union-Find decoder (Delfosse-Nickerson style) over the
+// explicit space-time detector graph. The paper's control-processor context
+// (LILLIPUT, AFS, union-find hardware decoders) motivates having an almost-
+// linear-time engine next to MWPM: clusters grow in half-edge increments
+// around defects until every cluster has even parity or touches the lattice
+// boundary, then each cluster is peeled to extract a correction, whose
+// logical-crossing parity is the decode result.
+//
+// A UnionFind instance is built for a fixed number of rounds; the graph is
+// immutable after construction and Decode allocates all mutable state per
+// call, so one instance may be shared by concurrent shots.
+type UnionFind struct {
+	layout *surfacecode.Layout
+	kind   surfacecode.Kind
+	nz     int
+	rounds int
+	nV     int // real vertices: nz * (rounds+1)
+
+	edges       []ufEdge
+	vertexEdges [][]int32
+}
+
+type ufEdge struct {
+	u, v  int32 // v == -1 for boundary edges
+	cross uint8
+}
+
+// NewUnionFind builds the decoder for memory experiments with the given
+// number of syndrome extraction rounds (the detector graph has rounds+1
+// layers, the last from the transversal data measurement).
+func NewUnionFind(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *UnionFind {
+	u := &UnionFind{
+		layout: l,
+		kind:   kind,
+		nz:     l.NumKind(kind),
+		rounds: rounds,
+	}
+	u.nV = u.nz * (rounds + 1)
+	u.vertexEdges = make([][]int32, u.nV)
+
+	isLogical := make([]bool, l.NumData)
+	for _, q := range l.LogicalSupport(kind) {
+		isLogical[q] = true
+	}
+	addEdge := func(a, b int32, cross uint8) {
+		id := int32(len(u.edges))
+		u.edges = append(u.edges, ufEdge{a, b, cross})
+		u.vertexEdges[a] = append(u.vertexEdges[a], id)
+		if b >= 0 {
+			u.vertexEdges[b] = append(u.vertexEdges[b], id)
+		}
+	}
+	node := func(z, r int) int32 { return int32((r-1)*u.nz + z) }
+
+	for r := 1; r <= rounds+1; r++ {
+		// Space and boundary edges within the layer.
+		for q := 0; q < l.NumData; q++ {
+			var cross uint8
+			if isLogical[q] {
+				cross = 1
+			}
+			zs := l.DataKindStabs(kind, q)
+			switch len(zs) {
+			case 2:
+				addEdge(node(l.KindOrdinal(kind, zs[0]), r),
+					node(l.KindOrdinal(kind, zs[1]), r), cross)
+			case 1:
+				addEdge(node(l.KindOrdinal(kind, zs[0]), r), -1, cross)
+			}
+		}
+		// Time edges to the next layer.
+		if r <= rounds {
+			for z := 0; z < u.nz; z++ {
+				addEdge(node(z, r), node(z, r+1), 0)
+			}
+		}
+	}
+	return u
+}
+
+// ufState is the per-decode mutable state.
+type ufState struct {
+	parent   []int32
+	size     []int32
+	parity   []uint8 // defect count mod 2 per root
+	boundary []int32 // fully grown boundary edge id per root, -1 if none
+	support  []uint8 // per edge: 0, 1, 2 (2 = fully grown)
+	defect   []bool
+	verts    [][]int32 // vertex list per root
+}
+
+func (u *UnionFind) newState() *ufState {
+	st := &ufState{
+		parent:   make([]int32, u.nV),
+		size:     make([]int32, u.nV),
+		parity:   make([]uint8, u.nV),
+		boundary: make([]int32, u.nV),
+		support:  make([]uint8, len(u.edges)),
+		defect:   make([]bool, u.nV),
+		verts:    make([][]int32, u.nV),
+	}
+	for i := range st.parent {
+		st.parent[i] = int32(i)
+		st.size[i] = 1
+		st.boundary[i] = -1
+	}
+	return st
+}
+
+func (st *ufState) find(v int32) int32 {
+	for st.parent[v] != v {
+		st.parent[v] = st.parent[st.parent[v]]
+		v = st.parent[v]
+	}
+	return v
+}
+
+func (st *ufState) union(a, b int32) int32 {
+	ra, rb := st.find(a), st.find(b)
+	if ra == rb {
+		return ra
+	}
+	if st.size[ra] < st.size[rb] {
+		ra, rb = rb, ra
+	}
+	st.parent[rb] = ra
+	st.size[ra] += st.size[rb]
+	st.parity[ra] ^= st.parity[rb]
+	if st.boundary[ra] < 0 {
+		st.boundary[ra] = st.boundary[rb]
+	}
+	st.verts[ra] = append(st.verts[ra], st.verts[rb]...)
+	st.verts[rb] = nil
+	return ra
+}
+
+// Decode grows clusters around the detection events and peels a correction.
+func (u *UnionFind) Decode(events []Event) uint8 {
+	if len(events) == 0 {
+		return 0
+	}
+	st := u.newState()
+	active := make([]int32, 0, len(events))
+	for _, e := range events {
+		v := int32((e.Round-1)*u.nz + e.Z)
+		if !st.defect[v] {
+			st.defect[v] = true
+			st.parity[v] = 1
+			st.verts[v] = []int32{v}
+			active = append(active, v)
+		} else {
+			// Duplicate event cancels (should not happen from the sim).
+			st.defect[v] = false
+			st.parity[v] = 0
+		}
+	}
+
+	// Growth: every odd, non-boundary cluster grows all frontier edges by a
+	// half step; fully grown edges merge clusters or attach the boundary.
+	for iter := 0; iter < 4*u.nV; iter++ {
+		odd := odds(st, active)
+		if len(odd) == 0 {
+			break
+		}
+		grown, advanced := grownEdges(u, st, odd)
+		if !advanced {
+			break // defensive; cannot happen while boundary edges exist
+		}
+		roots := make(map[int32]bool)
+		for _, id := range grown {
+			e := u.edges[id]
+			if e.v < 0 {
+				r := st.find(e.u)
+				if st.boundary[r] < 0 {
+					st.boundary[r] = id
+				}
+				roots[r] = true
+				continue
+			}
+			roots[st.find(st.union(e.u, e.v))] = true
+		}
+		next := active[:0]
+		seen := map[int32]bool{}
+		for _, v := range active {
+			r := st.find(v)
+			if !seen[r] {
+				seen[r] = true
+				next = append(next, r)
+			}
+		}
+		active = next
+	}
+
+	// Peeling: extract a correction inside each cluster.
+	var flip uint8
+	visited := make([]bool, u.nV)
+	for _, v := range active {
+		r := st.find(v)
+		if len(st.verts[r]) == 0 || visited[st.verts[r][0]] {
+			continue
+		}
+		flip ^= u.peel(st, r, visited)
+	}
+	return flip
+}
+
+// odds returns the roots of odd-parity clusters that do not touch the
+// boundary.
+func odds(st *ufState, active []int32) []int32 {
+	var out []int32
+	seen := map[int32]bool{}
+	for _, v := range active {
+		r := st.find(v)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if st.parity[r] == 1 && st.boundary[r] < 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// grownEdges advances the frontier of each odd cluster by one half step,
+// returning the edges that became fully grown and whether any support was
+// added at all (half-grown edges complete on a later pass, so an empty grown
+// list does not mean the algorithm is stuck).
+func grownEdges(u *UnionFind, st *ufState, odd []int32) (grown []int32, advanced bool) {
+	for _, r := range odd {
+		for _, v := range st.verts[r] {
+			for _, id := range u.vertexEdges[v] {
+				if st.support[id] >= 2 {
+					continue
+				}
+				st.support[id]++
+				advanced = true
+				if st.support[id] == 2 {
+					grown = append(grown, id)
+				}
+			}
+		}
+	}
+	return grown, advanced
+}
+
+// peel builds a spanning tree of the cluster's fully grown edges and peels
+// leaves inward, discharging any residual defect through the cluster's
+// boundary edge.
+func (u *UnionFind) peel(st *ufState, root int32, visited []bool) uint8 {
+	// Root the tree at the boundary edge's endpoint when available.
+	start := st.verts[root][0]
+	if b := st.boundary[root]; b >= 0 {
+		start = u.edges[b].u
+	}
+	type treeEdge struct {
+		vertex int32
+		edge   int32 // edge to parent
+	}
+	order := []treeEdge{{start, -1}}
+	visited[start] = true
+	parentOf := map[int32]int32{}
+	for head := 0; head < len(order); head++ {
+		v := order[head].vertex
+		for _, id := range u.vertexEdges[v] {
+			if st.support[id] < 2 {
+				continue
+			}
+			e := u.edges[id]
+			if e.v < 0 {
+				continue
+			}
+			w := e.u
+			if w == v {
+				w = e.v
+			}
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			parentOf[w] = v
+			order = append(order, treeEdge{w, id})
+		}
+	}
+	// Peel leaves in reverse BFS order.
+	defect := make(map[int32]bool)
+	for _, te := range order {
+		if st.defect[te.vertex] {
+			defect[te.vertex] = true
+		}
+	}
+	var flip uint8
+	for i := len(order) - 1; i >= 1; i-- {
+		te := order[i]
+		if defect[te.vertex] {
+			flip ^= u.edges[te.edge].cross
+			defect[te.vertex] = false
+			p := parentOf[te.vertex]
+			defect[p] = !defect[p]
+		}
+	}
+	if defect[start] {
+		if b := st.boundary[root]; b >= 0 {
+			flip ^= u.edges[b].cross
+		}
+		// With no boundary edge the cluster parity was even, so a residual
+		// defect at the root cannot occur.
+	}
+	return flip
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializers let downstream plotting (the artifact used a Python
+// matplotlib script) consume sweep results without parsing the human-readable
+// tables.
+
+// WriteCSV writes a distance sweep as CSV: one row per distance, one column
+// triple (ler, lo, hi) per policy.
+func (s *DistanceSweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"d"}
+	for _, n := range s.Names {
+		header = append(header, n+"_ler", n+"_lo", n+"_hi")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, d := range s.Distances {
+		row := []string{strconv.Itoa(d)}
+		for p := range s.Names {
+			row = append(row,
+				formatFloat(s.LER[p][i]),
+				formatFloat(s.LERLow[p][i]),
+				formatFloat(s.LERHigh[p][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes a round series as CSV: one row per round, one LPR column
+// per policy (plus data/parity splits when present).
+func (r *RoundSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"round"}
+	header = append(header, r.Names...)
+	if r.Data != nil {
+		header = append(header, "data", "parity")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.LPR[0] {
+		row := []string{strconv.Itoa(i + 1)}
+		for s := range r.Names {
+			row = append(row, formatFloat(r.LPR[s][i]))
+		}
+		if r.Data != nil {
+			row = append(row, formatFloat(r.Data[i]), formatFloat(r.Parity[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes a cycle series as CSV: one row per cycle count, one LER
+// column per policy.
+func (c *CycleSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cycle"}
+	header = append(header, c.Names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, cy := range c.Cycles {
+		row := []string{strconv.Itoa(cy)}
+		for s := range c.Names {
+			row = append(row, formatFloat(c.LER[s][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', 8, 64)
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestDistanceSweepCSV(t *testing.T) {
+	s := &DistanceSweep{
+		Distances: []int{3, 5},
+		Names:     []string{"A", "B"},
+		LER:       [][]float64{{0.1, 0.2}, {0.3, 0.4}},
+		LERLow:    [][]float64{{0.05, 0.15}, {0.25, 0.35}},
+		LERHigh:   [][]float64{{0.15, 0.25}, {0.35, 0.45}},
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 3 || len(rows[0]) != 7 {
+		t.Fatalf("got %dx%d CSV", len(rows), len(rows[0]))
+	}
+	if rows[0][1] != "A_ler" || rows[2][0] != "5" || rows[1][1] != "0.1" {
+		t.Fatalf("bad cells: %v", rows)
+	}
+}
+
+func TestRoundSeriesCSV(t *testing.T) {
+	r := &RoundSeries{
+		Names:  []string{"X"},
+		LPR:    [][]float64{{0.001, 0.002}},
+		Data:   []float64{0.01, 0.02},
+		Parity: []float64{0.03, 0.04},
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 3 || len(rows[0]) != 4 {
+		t.Fatalf("got %dx%d CSV", len(rows), len(rows[0]))
+	}
+	if rows[0][2] != "data" || rows[1][3] != "0.03" {
+		t.Fatalf("bad cells: %v", rows)
+	}
+}
+
+func TestCycleSeriesCSV(t *testing.T) {
+	c := &CycleSeries{
+		Cycles: []int{1, 2, 3},
+		Names:  []string{"P", "Q"},
+		LER:    [][]float64{{1, 2, 3}, {4, 5, 6}},
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 4 || rows[3][2] != "6" {
+		t.Fatalf("bad CSV: %v", rows)
+	}
+}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+)
+
+// tinyOpts keeps figure sweeps fast enough for unit tests.
+func tinyOpts() Options {
+	return Options{Shots: 40, Seed: 12, P: 2e-3, Distances: []int{3}, Cycles: 2, Workers: 0}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.filled(7)
+	if o.Shots != 1000 || o.Seed != 2023 || o.P != 1e-3 || o.Cycles != 10 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if len(o.Distances) != 5 || o.Distance != 7 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Shots: 5, Distance: 3}.filled(7)
+	if o2.Shots != 5 || o2.Distance != 3 {
+		t.Fatalf("explicit options overwritten: %+v", o2)
+	}
+}
+
+func TestFigure1c(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	cs := Figure1c(o)
+	if len(cs.Names) != 3 || len(cs.Cycles) != o.Cycles {
+		t.Fatalf("malformed series: %+v", cs.Names)
+	}
+	for _, s := range cs.LER {
+		if len(s) != o.Cycles {
+			t.Fatal("series length mismatch")
+		}
+	}
+	if out := cs.String(); !strings.Contains(out, "Always-LRCs") {
+		t.Fatalf("render missing policy name:\n%s", out)
+	}
+}
+
+func TestFigure2c(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	cs := Figure2c(o)
+	if cs.Names[0] != "No Leakage" || cs.Names[1] != "With Leakage" {
+		t.Fatalf("wrong series names: %v", cs.Names)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	rs := Figure5(o)
+	rounds := o.Cycles * 3
+	if len(rs.LPR[0]) != rounds || len(rs.Data) != rounds || len(rs.Parity) != rounds {
+		t.Fatalf("round series lengths wrong")
+	}
+	if out := rs.String(); !strings.Contains(out, "data") {
+		t.Fatalf("render missing split columns:\n%s", out)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	lpr, ler := Figure6(o)
+	if len(lpr.Names) != 2 || len(ler.Names) != 2 {
+		t.Fatal("Figure 6 must compare two policies")
+	}
+}
+
+func TestFigure14AndImprovement(t *testing.T) {
+	o := tinyOpts()
+	s := Figure14(o)
+	if len(s.Names) != 4 || len(s.LER) != 4 {
+		t.Fatalf("Figure 14 needs 4 policies, got %v", s.Names)
+	}
+	imp := s.Improvement(1, 0)
+	if len(imp) != len(o.Distances) {
+		t.Fatal("Improvement length mismatch")
+	}
+	if out := s.String(); !strings.Contains(out, "ERASER") {
+		t.Fatalf("render missing ERASER:\n%s", out)
+	}
+}
+
+func TestFigure15DQLRNames(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	o.Protocol = circuit.ProtocolDQLR
+	rs := Figure15(o)
+	joined := strings.Join(rs.Names, ",")
+	if !strings.Contains(joined, "DQLR") {
+		t.Fatalf("DQLR names missing: %v", rs.Names)
+	}
+}
+
+func TestFigure16Table4(t *testing.T) {
+	o := tinyOpts()
+	o.Distance = 3
+	rep := Figure16Table4(o)
+	if len(rep.Accuracy) != 4 || len(rep.LRCsPerRound) != 4 {
+		t.Fatal("report missing policies")
+	}
+	// Always-LRCs schedules about d^2/2 per round; ERASER far fewer.
+	if rep.LRCsPerRound[0][0] < 2 {
+		t.Fatalf("Always LRC count %v implausible", rep.LRCsPerRound[0][0])
+	}
+	if rep.LRCsPerRound[1][0] >= rep.LRCsPerRound[0][0] {
+		t.Fatalf("ERASER should schedule fewer LRCs than Always: %v vs %v",
+			rep.LRCsPerRound[1][0], rep.LRCsPerRound[0][0])
+	}
+	out := rep.String()
+	for _, want := range []string{"Figure 16", "Table 4", "FPR", "FNR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExchangeTransportRuns(t *testing.T) {
+	o := tinyOpts()
+	o.Transport = noise.TransportExchange
+	s := Figure14(o)
+	if len(s.LER) != 4 {
+		t.Fatal("exchange-transport sweep failed")
+	}
+}

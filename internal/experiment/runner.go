@@ -1,0 +1,322 @@
+// Package experiment runs the paper's memory-Z experiments end to end: it
+// builds a layout, instantiates a scheduling policy, simulates the requested
+// number of QEC cycles shot by shot, decodes every shot, and aggregates the
+// paper's metrics — logical error rate (Equation 4), leakage population
+// ratio per round (Equation 5), LRCs scheduled per round (Table 4) and
+// speculation accuracy with false-positive and false-negative rates
+// (Figure 16). Figure-level sweeps live in figures.go.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// Config describes one experiment (one LER data point).
+type Config struct {
+	// Distance is the code distance d.
+	Distance int
+	// Cycles is the number of QEC cycles; each cycle is Distance rounds.
+	// Rounds, when nonzero, overrides the round count directly.
+	Cycles int
+	Rounds int
+	// P is the physical error rate; Noise, when non-nil, overrides the
+	// standard model built from P.
+	P     float64
+	Noise *noise.Params
+	// Basis selects memory-Z (the default, surfacecode.KindZ) or memory-X.
+	Basis surfacecode.Kind
+	// Shots is the number of Monte-Carlo trials.
+	Shots int
+	// Seed selects the reproducible random stream.
+	Seed uint64
+	// Policy and Protocol select the scheduling policy under test.
+	Policy   core.Kind
+	Protocol circuit.Protocol
+	// Decoder tunes matching weights; zero value uses defaults.
+	Decoder decoder.Config
+	// UseUnionFind decodes with the union-find engine instead of MWPM.
+	UseUnionFind bool
+	// Workers bounds shot-level parallelism; 0 means GOMAXPROCS, 1 forces
+	// fully deterministic serial accumulation.
+	Workers int
+	// Tune optionally adjusts the policy after construction (ablations).
+	Tune func(core.Policy)
+}
+
+func (c Config) rounds() int {
+	if c.Rounds > 0 {
+		return c.Rounds
+	}
+	cycles := c.Cycles
+	if cycles == 0 {
+		cycles = 10
+	}
+	return cycles * c.Distance
+}
+
+func (c Config) noiseParams() noise.Params {
+	if c.Noise != nil {
+		return *c.Noise
+	}
+	return noise.Standard(c.P)
+}
+
+// Result aggregates one experiment.
+type Result struct {
+	Config     Config
+	PolicyName string
+	Rounds     int
+
+	Shots         int
+	LogicalErrors int
+	// LER is the logical error rate with its 95% Wilson interval.
+	LER, LERLow, LERHigh float64
+
+	// LPRTotal/Data/Parity give the leakage population ratio at the end of
+	// each round, averaged over shots (Figure 5 / 15 / 18 / 21).
+	LPRTotal, LPRData, LPRParity []float64
+
+	// LRCsPerRound is the average number of LRC operations per round
+	// (Table 4).
+	LRCsPerRound float64
+
+	// Decision-level speculation statistics over all (data qubit, round)
+	// pairs (Figure 16): a decision is correct when the policy schedules an
+	// LRC exactly on a qubit that is leaked at scheduling time.
+	TruePos, FalsePos, TrueNeg, FalseNeg int64
+}
+
+// Accuracy is the fraction of correct per-qubit per-round LRC decisions.
+func (r *Result) Accuracy() float64 {
+	tot := r.TruePos + r.FalsePos + r.TrueNeg + r.FalseNeg
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.TruePos+r.TrueNeg) / float64(tot)
+}
+
+// FPR is P(LRC scheduled | qubit not leaked).
+func (r *Result) FPR() float64 {
+	den := r.FalsePos + r.TrueNeg
+	if den == 0 {
+		return 0
+	}
+	return float64(r.FalsePos) / float64(den)
+}
+
+// FNR is P(no LRC | qubit leaked).
+func (r *Result) FNR() float64 {
+	den := r.FalseNeg + r.TruePos
+	if den == 0 {
+		return 0
+	}
+	return float64(r.FalseNeg) / float64(den)
+}
+
+// MeanLPR averages the total leakage population ratio over all rounds.
+func (r *Result) MeanLPR() float64 { return stats.Mean(r.LPRTotal) }
+
+// shotAccum accumulates per-worker partial results.
+type shotAccum struct {
+	logicalErrors  int
+	lprData        []float64
+	lprParity      []float64
+	lrcs           int64
+	tp, fp, tn, fn int64
+}
+
+// Run executes the experiment.
+func Run(cfg Config) Result {
+	layout := surfacecode.MustNew(cfg.Distance)
+	rounds := cfg.rounds()
+	np := cfg.noiseParams()
+	if err := np.Validate(); err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	var dec decoder.Engine = decoder.NewForKind(layout, cfg.Decoder, cfg.Basis)
+	if cfg.UseUnionFind {
+		dec = decoder.NewUnionFind(layout, cfg.Basis, rounds)
+	}
+	root := stats.NewRNG(cfg.Seed, configStream(cfg))
+	// Pre-draw one split token per shot so workers stay deterministic.
+	shotSeeds := make([]uint64, cfg.Shots)
+	for i := range shotSeeds {
+		shotSeeds[i] = root.Uint64()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shots {
+		workers = cfg.Shots
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	accums := make([]shotAccum, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		acc := &accums[w]
+		acc.lprData = make([]float64, rounds)
+		acc.lprParity = make([]float64, rounds)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(cfg, layout, dec, rounds, np, shotSeeds, w, workers, acc)
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{Config: cfg, Rounds: rounds, Shots: cfg.Shots,
+		PolicyName: core.NewPolicy(cfg.Policy, layout, cfg.Protocol).Name()}
+	res.LPRData = make([]float64, rounds)
+	res.LPRParity = make([]float64, rounds)
+	res.LPRTotal = make([]float64, rounds)
+	var lrcs int64
+	for i := range accums {
+		a := &accums[i]
+		res.LogicalErrors += a.logicalErrors
+		lrcs += a.lrcs
+		res.TruePos += a.tp
+		res.FalsePos += a.fp
+		res.TrueNeg += a.tn
+		res.FalseNeg += a.fn
+		for r := 0; r < rounds; r++ {
+			res.LPRData[r] += a.lprData[r]
+			res.LPRParity[r] += a.lprParity[r]
+		}
+	}
+	if cfg.Shots > 0 {
+		for r := 0; r < rounds; r++ {
+			res.LPRData[r] /= float64(cfg.Shots) * float64(layout.NumData)
+			res.LPRParity[r] /= float64(cfg.Shots) * float64(layout.NumParity)
+			res.LPRTotal[r] = (res.LPRData[r]*float64(layout.NumData) +
+				res.LPRParity[r]*float64(layout.NumParity)) / float64(layout.NumQubits)
+		}
+		res.LER = float64(res.LogicalErrors) / float64(cfg.Shots)
+		res.LERLow, res.LERHigh = stats.Wilson(res.LogicalErrors, cfg.Shots, 1.96)
+		res.LRCsPerRound = float64(lrcs) / float64(cfg.Shots) / float64(rounds)
+	}
+	return res
+}
+
+func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+	rounds int, np noise.Params, shotSeeds []uint64, w, stride int, acc *shotAccum) {
+
+	builder := circuit.NewBuilder(layout)
+	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
+	if cfg.Tune != nil {
+		cfg.Tune(pol)
+	}
+	truth := make([]bool, layout.NumData)
+	prevTruth := make([]bool, layout.NumData)
+	events := make([]decoder.Event, 0, 64)
+
+	for shot := w; shot < cfg.Shots; shot += stride {
+		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
+		s := sim.NewMemory(layout, np, rng, cfg.Basis)
+		pol.Reset()
+		for i := range prevTruth {
+			prevTruth[i] = false
+		}
+		events = events[:0]
+
+		for r := 1; r <= rounds; r++ {
+			plan := pol.PlanRound(r)
+			acc.lrcs += int64(len(plan.LRCs))
+			for q := 0; q < layout.NumData; q++ {
+				switch planned, leaked := pol.PlannedLRC(q), prevTruth[q]; {
+				case planned && leaked:
+					acc.tp++
+				case planned && !leaked:
+					acc.fp++
+				case !planned && leaked:
+					acc.fn++
+				default:
+					acc.tn++
+				}
+			}
+
+			ops := builder.Round(plan)
+			rr := s.RunRound(ops)
+
+			for i := range layout.Stabilizers {
+				if rr.Events[i] != 0 && layout.Stabilizers[i].Kind == cfg.Basis {
+					events = append(events, decoder.Event{Z: layout.KindOrdinal(cfg.Basis, i), Round: r})
+				}
+			}
+			dleak, pleak := s.LeakedCounts()
+			acc.lprData[r-1] += float64(dleak)
+			acc.lprParity[r-1] += float64(pleak)
+
+			s.SnapshotLeakedData(truth)
+			pol.Observe(core.RoundInfo{
+				Round:          r,
+				Events:         rr.Events,
+				MLParity:       rr.MLParity,
+				MLData:         rr.MLData,
+				TrueLeakedData: truth,
+			})
+			prevTruth, truth = truth, prevTruth
+		}
+
+		final := s.FinalMeasure(builder.FinalMeasurement())
+		fdet := s.FinalDetectors(final)
+		for i, e := range fdet {
+			if e != 0 {
+				events = append(events, decoder.Event{Z: layout.KindOrdinal(cfg.Basis, i), Round: rounds + 1})
+			}
+		}
+		predicted := dec.Decode(events)
+		if predicted != s.ObservableFlip(final) {
+			acc.logicalErrors++
+		}
+	}
+}
+
+// configStream hashes the experiment identity into a deterministic RNG
+// stream so that different configs sharing a seed stay independent.
+func configStream(cfg Config) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(cfg.Distance))
+	mix(uint64(cfg.rounds()))
+	mix(uint64(cfg.Policy))
+	mix(uint64(cfg.Protocol))
+	mix(uint64(cfg.Basis))
+	mix(boolBit(cfg.UseUnionFind))
+	np := cfg.noiseParams()
+	mix(uint64(np.Transport))
+	mix(boolBit(np.LeakageEnabled))
+	mix(f2b(np.P))
+	mix(f2b(np.PLeak))
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func f2b(f float64) uint64 {
+	// Scale to avoid importing math just for Float64bits determinism; the
+	// probabilities are tiny, so scale preserves identity.
+	return uint64(f * 1e12)
+}

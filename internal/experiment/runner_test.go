@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 3, P: 1e-3, Shots: 100, Seed: 5,
+		Policy: core.PolicyEraser, Workers: 1}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.LogicalErrors != b.LogicalErrors || a.LRCsPerRound != b.LRCsPerRound ||
+		a.TruePos != b.TruePos || a.FalseNeg != b.FalseNeg {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for r := range a.LPRTotal {
+		if a.LPRTotal[r] != b.LPRTotal[r] {
+			t.Fatalf("LPR series diverged at round %d", r)
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 5, P: 3e-3, Shots: 200, Seed: 5,
+		Policy: core.PolicyNone, Workers: 1}
+	a := Run(cfg)
+	cfg.Seed = 6
+	b := Run(cfg)
+	if a.LogicalErrors == b.LogicalErrors && sameSeries(a.LPRTotal, b.LPRTotal) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func sameSeries(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelWorkersMatchSerialCounts(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 3, P: 1e-3, Shots: 120, Seed: 9,
+		Policy: core.PolicyAlways, Workers: 1}
+	serial := Run(cfg)
+	cfg.Workers = 4
+	parallel := Run(cfg)
+	// Integer accumulators are order-independent, so they must agree
+	// exactly; float series may differ in the last bits only.
+	if serial.LogicalErrors != parallel.LogicalErrors ||
+		serial.TruePos != parallel.TruePos || serial.FalsePos != parallel.FalsePos {
+		t.Fatalf("parallel run changed results: %d vs %d logical errors",
+			serial.LogicalErrors, parallel.LogicalErrors)
+	}
+}
+
+func TestDecisionAccounting(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 2, P: 1e-3, Shots: 50, Seed: 3,
+		Policy: core.PolicyAlways, Workers: 1}
+	res := Run(cfg)
+	total := res.TruePos + res.FalsePos + res.TrueNeg + res.FalseNeg
+	want := int64(50) * int64(res.Rounds) * int64(9)
+	if total != want {
+		t.Fatalf("decision count %d, want %d", total, want)
+	}
+	// Always-LRC decides "LRC" about half the time regardless of leakage, so
+	// accuracy sits near 50% (Figure 16).
+	if acc := res.Accuracy(); acc < 0.4 || acc > 0.6 {
+		t.Fatalf("Always accuracy %v, want ~0.5", acc)
+	}
+}
+
+func TestLERDecreasesWithDistanceWithoutLeakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	np := noise.WithoutLeakage(5e-4)
+	ler := func(d int) float64 {
+		return Run(Config{Distance: d, Cycles: 2, Noise: &np, Shots: 1500,
+			Seed: 21, Policy: core.PolicyNone, Workers: 0}).LER
+	}
+	l3, l5 := ler(3), ler(5)
+	if l5 >= l3 {
+		t.Fatalf("LER did not shrink with distance: d3=%v d5=%v", l3, l5)
+	}
+}
+
+func TestWilsonIntervalAttached(t *testing.T) {
+	res := Run(Config{Distance: 3, Cycles: 2, P: 1e-3, Shots: 100, Seed: 2,
+		Policy: core.PolicyNone, Workers: 1})
+	if res.LERLow > res.LER || res.LERHigh < res.LER {
+		t.Fatalf("CI [%v, %v] does not bracket LER %v", res.LERLow, res.LERHigh, res.LER)
+	}
+}
+
+func TestRoundsOverride(t *testing.T) {
+	res := Run(Config{Distance: 3, Rounds: 7, P: 1e-3, Shots: 10, Seed: 1,
+		Policy: core.PolicyNone, Workers: 1})
+	if res.Rounds != 7 || len(res.LPRTotal) != 7 {
+		t.Fatalf("rounds override ignored: %d rounds, %d LPR entries",
+			res.Rounds, len(res.LPRTotal))
+	}
+}
+
+func TestMeanLPRAndRatios(t *testing.T) {
+	res := Result{LPRTotal: []float64{0.1, 0.3}}
+	if got := res.MeanLPR(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MeanLPR = %v", got)
+	}
+	empty := Result{}
+	if empty.Accuracy() != 0 || empty.FPR() != 0 || empty.FNR() != 0 {
+		t.Fatal("zero-division guards failed")
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+// TestNoiselessIsPerfect checks that with zero physical error rate every
+// shot decodes to the correct logical outcome and no qubit ever leaks.
+func TestNoiselessIsPerfect(t *testing.T) {
+	np := noise.Standard(0)
+	res := Run(Config{
+		Distance: 3, Cycles: 3, Noise: &np, Shots: 50, Seed: 1,
+		Policy: core.PolicyAlways, Workers: 1,
+	})
+	if res.LogicalErrors != 0 {
+		t.Fatalf("noiseless run produced %d logical errors", res.LogicalErrors)
+	}
+	if res.MeanLPR() != 0 {
+		t.Fatalf("noiseless run produced leakage: %v", res.MeanLPR())
+	}
+}
+
+// TestSmokeLeakageHurts checks the headline qualitative facts at d=3: leakage
+// raises the logical error rate, and adaptive policies keep the leakage
+// population below Always-LRC.
+func TestSmokeLeakageHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shots := 400
+	base := Config{Distance: 3, Cycles: 5, P: 1e-3, Shots: shots, Seed: 7, Workers: 1}
+
+	noLeak := noise.WithoutLeakage(1e-3)
+	cfgNoLeak := base
+	cfgNoLeak.Noise = &noLeak
+	cfgNoLeak.Policy = core.PolicyNone
+	rNoLeak := Run(cfgNoLeak)
+
+	cfgLeak := base
+	cfgLeak.Policy = core.PolicyNone
+	rLeak := Run(cfgLeak)
+
+	if rLeak.LER < rNoLeak.LER {
+		t.Errorf("leakage should not reduce LER: with=%v without=%v", rLeak.LER, rNoLeak.LER)
+	}
+
+	cfgAlways := base
+	cfgAlways.Policy = core.PolicyAlways
+	rAlways := Run(cfgAlways)
+	cfgEraser := base
+	cfgEraser.Policy = core.PolicyEraser
+	rEraser := Run(cfgEraser)
+	if rEraser.LRCsPerRound >= rAlways.LRCsPerRound {
+		t.Errorf("ERASER should schedule far fewer LRCs: eraser=%v always=%v",
+			rEraser.LRCsPerRound, rAlways.LRCsPerRound)
+	}
+	t.Logf("LER noleak=%.4f leak=%.4f always=%.4f eraser=%.4f",
+		rNoLeak.LER, rLeak.LER, rAlways.LER, rEraser.LER)
+	t.Logf("LPR leak=%.5f always=%.5f eraser=%.5f",
+		rLeak.MeanLPR(), rAlways.MeanLPR(), rEraser.MeanLPR())
+	t.Logf("LRCs/round always=%.2f eraser=%.2f", rAlways.LRCsPerRound, rEraser.LRCsPerRound)
+}

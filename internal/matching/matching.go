@@ -1,0 +1,243 @@
+// Package matching solves the minimum-weight matching problem at the heart
+// of surface-code decoding: every detection event must be paired with
+// another event or with the lattice boundary, minimizing total weight.
+//
+// Two engines are provided. Exact solves the problem optimally with a
+// bitmask dynamic program and is used whenever the event set is small (the
+// common case at low physical error rates, and the gold standard for tests).
+// Greedy plus Refine is a near-optimal approximation for large event sets:
+// greedy construction followed by 2-opt local search over pair/boundary
+// rematches. Solve picks automatically.
+package matching
+
+import (
+	"math"
+	"sort"
+)
+
+// Boundary is the Mate value of an event matched to the lattice boundary.
+const Boundary = -1
+
+// MaxExact is the largest event count solved exactly by default.
+const MaxExact = 18
+
+// Instance describes a matching problem over N detection events.
+type Instance struct {
+	N int
+	// PairWeight returns the cost of matching events i and j (i != j).
+	PairWeight func(i, j int) float64
+	// BoundaryWeight returns the cost of matching event i to the boundary.
+	BoundaryWeight func(i int) float64
+}
+
+// Result holds a complete matching: Mate[i] is the partner of event i, or
+// Boundary. Weight is the total cost.
+type Result struct {
+	Mate   []int
+	Weight float64
+}
+
+// weight recomputes the total cost of a matching.
+func (inst Instance) weight(mate []int) float64 {
+	var w float64
+	for i, j := range mate {
+		switch {
+		case j == Boundary:
+			w += inst.BoundaryWeight(i)
+		case j > i:
+			w += inst.PairWeight(i, j)
+		}
+	}
+	return w
+}
+
+// Exact computes a minimum-weight matching by dynamic programming over
+// subsets. It must only be called with inst.N <= about 20; memory is
+// O(2^N) and time O(2^N * N).
+func Exact(inst Instance) Result {
+	n := inst.N
+	if n == 0 {
+		return Result{Mate: nil}
+	}
+	size := 1 << n
+	dp := make([]float64, size)
+	choice := make([]int32, size) // partner of the lowest set bit; -1 = boundary
+	for s := 1; s < size; s++ {
+		i := lowestBit(s)
+		best := inst.BoundaryWeight(i) + dp[s&^(1<<i)]
+		bestJ := int32(-1)
+		rest := s &^ (1 << i)
+		for t := rest; t != 0; t &= t - 1 {
+			j := lowestBit(t)
+			w := inst.PairWeight(i, j) + dp[s&^(1<<i)&^(1<<j)]
+			if w < best {
+				best, bestJ = w, int32(j)
+			}
+		}
+		dp[s] = best
+		choice[s] = bestJ
+	}
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = Boundary
+	}
+	for s := size - 1; s != 0; {
+		i := lowestBit(s)
+		j := choice[s]
+		if j < 0 {
+			mate[i] = Boundary
+			s &^= 1 << i
+		} else {
+			mate[i], mate[int(j)] = int(j), i
+			s = s &^ (1 << i) &^ (1 << int(j))
+		}
+	}
+	return Result{Mate: mate, Weight: dp[size-1]}
+}
+
+func lowestBit(s int) int {
+	b := 0
+	for s&1 == 0 {
+		s >>= 1
+		b++
+	}
+	return b
+}
+
+// Greedy builds a matching by repeatedly taking the cheapest available
+// pairing (event-event or event-boundary).
+func Greedy(inst Instance) Result {
+	n := inst.N
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -2 // unmatched
+	}
+	type cand struct {
+		w    float64
+		i, j int // j == Boundary for boundary candidates
+	}
+	cands := make([]cand, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		cands = append(cands, cand{inst.BoundaryWeight(i), i, Boundary})
+		for j := i + 1; j < n; j++ {
+			cands = append(cands, cand{inst.PairWeight(i, j), i, j})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
+	for _, c := range cands {
+		if mate[c.i] != -2 {
+			continue
+		}
+		if c.j == Boundary {
+			mate[c.i] = Boundary
+		} else if mate[c.j] == -2 {
+			mate[c.i], mate[c.j] = c.j, c.i
+		}
+	}
+	for i := range mate {
+		if mate[i] == -2 {
+			mate[i] = Boundary
+		}
+	}
+	return Result{Mate: mate, Weight: inst.weight(mate)}
+}
+
+// Refine improves a matching with 2-opt local search: it considers rewiring
+// every pair of matched structures (two pairs, a pair and a boundary match,
+// or two boundary matches) and applies the best improvement until a local
+// optimum or maxPasses.
+func Refine(inst Instance, r Result, maxPasses int) Result {
+	n := inst.N
+	mate := append([]int(nil), r.Mate...)
+	cost := func(i, j int) float64 {
+		if j == Boundary {
+			return inst.BoundaryWeight(i)
+		}
+		return inst.PairWeight(i, j)
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < n; a++ {
+			b := mate[a]
+			if b != Boundary && b < a {
+				continue // visit each pair once via its smaller endpoint
+			}
+			for c := a + 1; c < n; c++ {
+				if c == b {
+					continue
+				}
+				d := mate[c]
+				if d != Boundary && (d < c || d == a || d == b) {
+					continue
+				}
+				cur := cost(a, b) + cost(c, d)
+				// Option 1: (a,c) and (b,d).
+				w1 := cost(a, c) + costOrZero(cost, b, d)
+				// Option 2: (a,d) and (b,c) — only when both b and d exist
+				// or can be boundary-matched.
+				w2 := math.Inf(1)
+				if d != Boundary {
+					w2 = cost(a, d) + costOrZero(cost, b, c)
+				}
+				const eps = 1e-12
+				if w1 < cur-eps && w1 <= w2 {
+					relink(mate, a, c, b, d)
+					improved = true
+					b = mate[a]
+				} else if w2 < cur-eps {
+					relink(mate, a, d, b, c)
+					improved = true
+					b = mate[a]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{Mate: mate, Weight: inst.weight(mate)}
+}
+
+// costOrZero returns the cost of matching i with j where either may be
+// Boundary; two boundaries cost nothing (both structures dissolve).
+func costOrZero(cost func(int, int) float64, i, j int) float64 {
+	if i == Boundary && j == Boundary {
+		return 0
+	}
+	if i == Boundary {
+		return cost(j, Boundary)
+	}
+	return cost(i, j)
+}
+
+func relink(mate []int, a, x, b, y int) {
+	// New structure: a with x; b with y (either may be Boundary).
+	link := func(i, j int) {
+		if i == Boundary && j == Boundary {
+			return
+		}
+		if i == Boundary {
+			mate[j] = Boundary
+			return
+		}
+		if j == Boundary {
+			mate[i] = Boundary
+			return
+		}
+		mate[i], mate[j] = j, i
+	}
+	link(a, x)
+	link(b, y)
+}
+
+// Solve returns an exact matching when N <= MaxExact and a refined greedy
+// matching otherwise.
+func Solve(inst Instance) Result {
+	if inst.N == 0 {
+		return Result{}
+	}
+	if inst.N <= MaxExact {
+		return Exact(inst)
+	}
+	return Refine(inst, Greedy(inst), 8)
+}

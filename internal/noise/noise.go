@@ -1,0 +1,114 @@
+// Package noise defines the circuit-level error model of the ERASER paper
+// (Section 5.2): depolarizing operation errors at physical error rate p,
+// leakage injection at 0.1p, seepage at 0.1p, leakage transport at
+// probability 0.1 per CNOT with a leaked operand, and the two readout models
+// (a standard two-level discriminator that classifies leaked qubits randomly,
+// and a multi-level discriminator with error rate 10p used by ERASER+M).
+package noise
+
+import "fmt"
+
+// TransportModel selects how leakage transport treats the source qubit.
+type TransportModel uint8
+
+const (
+	// TransportConservative is the main-text model: after a transport both
+	// qubits are leaked (the source remains leaked).
+	TransportConservative TransportModel = iota
+	// TransportExchange is the Appendix A.1 model: the qubits exchange
+	// leakage, so the source returns to the computational basis in a random
+	// state when the receiver was unleaked; if the receiver was already
+	// leaked the transport has no effect.
+	TransportExchange
+)
+
+// String names the transport model.
+func (m TransportModel) String() string {
+	switch m {
+	case TransportConservative:
+		return "conservative"
+	case TransportExchange:
+		return "exchange"
+	default:
+		return fmt.Sprintf("TransportModel(%d)", uint8(m))
+	}
+}
+
+// Params collects every probability used by the simulator. Construct it with
+// Standard (or StandardWithout Leakage) and override fields as needed.
+type Params struct {
+	// P is the physical error rate p: depolarizing noise on data qubits at
+	// the start of each round, after each CNOT or H, on measurements, and on
+	// resets (initialization errors).
+	P float64
+	// PLeak is the leakage injection probability, 0.1p: applied to data
+	// qubits at the start of each round (environment-induced) and to both
+	// operands after a CNOT (operation-induced).
+	PLeak float64
+	// PSeep is the seepage probability, 0.1p: a leaked qubit returns to the
+	// computational basis in a random state at the start of a round.
+	PSeep float64
+	// PTransport is the per-CNOT leakage transport probability (0.1) when
+	// exactly one operand is leaked.
+	PTransport float64
+	// PMultiLevelError is the multi-level discriminator error rate, 10p.
+	PMultiLevelError float64
+	// Transport selects the conservative or exchange transport model.
+	Transport TransportModel
+	// LeakageEnabled gates all leakage mechanisms; disabling it yields the
+	// plain circuit-level depolarizing model (the "No Leakage" baseline of
+	// Figure 2(c)).
+	LeakageEnabled bool
+}
+
+// Standard returns the paper's default model at physical error rate p
+// (Table 1 / Section 5.2): PLeak = PSeep = 0.1p, PTransport = 0.1,
+// PMultiLevelError = 10p, conservative transport.
+func Standard(p float64) Params {
+	return Params{
+		P:                p,
+		PLeak:            0.1 * p,
+		PSeep:            0.1 * p,
+		PTransport:       0.1,
+		PMultiLevelError: 10 * p,
+		Transport:        TransportConservative,
+		LeakageEnabled:   true,
+	}
+}
+
+// WithoutLeakage returns the model with every leakage mechanism disabled,
+// used for the leakage-free baselines in Figure 2(c).
+func WithoutLeakage(p float64) Params {
+	n := Standard(p)
+	n.LeakageEnabled = false
+	return n
+}
+
+// WithTransport returns a copy of the parameters using the given transport
+// model (Appendix A.1 uses TransportExchange).
+func (n Params) WithTransport(m TransportModel) Params {
+	n.Transport = m
+	return n
+}
+
+// Validate reports whether every probability is inside [0, 1].
+func (n Params) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("noise: %s = %g outside [0, 1]", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"P", n.P}, {"PLeak", n.PLeak}, {"PSeep", n.PSeep},
+		{"PTransport", n.PTransport}, {"PMultiLevelError", n.PMultiLevelError},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

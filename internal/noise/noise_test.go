@@ -1,0 +1,82 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardScaling(t *testing.T) {
+	n := Standard(1e-3)
+	if n.P != 1e-3 {
+		t.Fatalf("P = %v", n.P)
+	}
+	if n.PLeak != 1e-4 || n.PSeep != 1e-4 {
+		t.Fatalf("leak/seep = %v/%v, want 0.1p", n.PLeak, n.PSeep)
+	}
+	if n.PTransport != 0.1 {
+		t.Fatalf("PTransport = %v, want 0.1", n.PTransport)
+	}
+	if n.PMultiLevelError != 1e-2 {
+		t.Fatalf("PMultiLevelError = %v, want 10p", n.PMultiLevelError)
+	}
+	if !n.LeakageEnabled {
+		t.Fatal("Standard should enable leakage")
+	}
+	if n.Transport != TransportConservative {
+		t.Fatal("Standard should use the conservative transport model")
+	}
+}
+
+func TestWithoutLeakage(t *testing.T) {
+	n := WithoutLeakage(1e-3)
+	if n.LeakageEnabled {
+		t.Fatal("WithoutLeakage should disable leakage")
+	}
+	if n.P != 1e-3 {
+		t.Fatal("WithoutLeakage should keep the depolarizing rate")
+	}
+}
+
+func TestWithTransport(t *testing.T) {
+	n := Standard(1e-3).WithTransport(TransportExchange)
+	if n.Transport != TransportExchange {
+		t.Fatal("WithTransport did not apply")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Standard(1e-3).Validate(); err != nil {
+		t.Fatalf("standard model invalid: %v", err)
+	}
+	bad := Standard(1e-3)
+	bad.PTransport = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("expected error for probability > 1")
+	}
+	bad = Standard(1e-3)
+	bad.P = -0.1
+	if bad.Validate() == nil {
+		t.Fatal("expected error for negative probability")
+	}
+}
+
+// TestStandardAlwaysValid checks Standard(p) validates for any p in [0, 0.1].
+func TestStandardAlwaysValid(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := float64(raw) / 65535.0 * 0.1
+		return Standard(p).Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if TransportConservative.String() != "conservative" ||
+		TransportExchange.String() != "exchange" {
+		t.Fatal("transport model names wrong")
+	}
+	if TransportModel(9).String() == "" {
+		t.Fatal("unknown transport model should still print")
+	}
+}

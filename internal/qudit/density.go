@@ -1,0 +1,308 @@
+// Package qudit implements an exact density-matrix simulator for systems of
+// ququarts (four-level qudits), reproducing the Section 3.3 study of the
+// ERASER paper: how leakage initialized on one data qubit of a Z stabilizer
+// spreads through an LRC round and corrupts the stabilizer measurement
+// (Figures 7 and 8). Gates are calibrated only on the computational {|0>,
+// |1>} subspace, as on real hardware; leakage transport, conditional RX
+// errors on unleaked operands, and leakage injection are modeled as the
+// paper describes for Google Sycamore (the |L> manifold is {|2>, |3>}).
+package qudit
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Levels is the number of levels per qudit (ququarts).
+const Levels = 4
+
+// DensityMatrix is an exact density operator over n ququarts. The qudit with
+// index 0 is the most significant digit of the basis index.
+type DensityMatrix struct {
+	n   int
+	dim int
+	rho []complex128 // row-major dim x dim
+	tmp []complex128
+}
+
+// New returns the pure state |0...0><0...0| over n ququarts.
+func New(n int) *DensityMatrix {
+	dim := 1
+	for i := 0; i < n; i++ {
+		dim *= Levels
+	}
+	d := &DensityMatrix{n: n, dim: dim,
+		rho: make([]complex128, dim*dim),
+		tmp: make([]complex128, dim*dim),
+	}
+	d.rho[0] = 1
+	return d
+}
+
+// N returns the number of ququarts.
+func (d *DensityMatrix) N() int { return d.n }
+
+// Dim returns the Hilbert-space dimension 4^n.
+func (d *DensityMatrix) Dim() int { return d.dim }
+
+// SetBasis re-initializes to the computational basis state given by one
+// level per qudit.
+func (d *DensityMatrix) SetBasis(levels []int) {
+	if len(levels) != d.n {
+		panic(fmt.Sprintf("qudit: SetBasis got %d levels for %d qudits", len(levels), d.n))
+	}
+	idx := 0
+	for _, l := range levels {
+		if l < 0 || l >= Levels {
+			panic(fmt.Sprintf("qudit: level %d out of range", l))
+		}
+		idx = idx*Levels + l
+	}
+	for i := range d.rho {
+		d.rho[i] = 0
+	}
+	d.rho[idx*d.dim+idx] = 1
+}
+
+// stride returns the basis-index stride of qudit q.
+func (d *DensityMatrix) stride(q int) int {
+	s := 1
+	for i := d.n - 1; i > q; i-- {
+		s *= Levels
+	}
+	return s
+}
+
+// Trace returns Tr(rho); it stays 1 under all channels here.
+func (d *DensityMatrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.rho[i*d.dim+i]
+	}
+	return t
+}
+
+// HermiticityDefect returns the largest |rho[i][j] - conj(rho[j][i])|,
+// a numerical-health check used by the tests.
+func (d *DensityMatrix) HermiticityDefect() float64 {
+	var worst float64
+	for i := 0; i < d.dim; i++ {
+		for j := i; j < d.dim; j++ {
+			delta := cmplx.Abs(d.rho[i*d.dim+j] - cmplx.Conj(d.rho[j*d.dim+i]))
+			if delta > worst {
+				worst = delta
+			}
+		}
+	}
+	return worst
+}
+
+// ApplyUnitary2 applies the 16x16 unitary u to qudits (a, b); u is indexed
+// by 4*la+lb.
+func (d *DensityMatrix) ApplyUnitary2(a, b int, u *[16][16]complex128) {
+	if a == b {
+		panic("qudit: ApplyUnitary2 with a == b")
+	}
+	sa, sb := d.stride(a), d.stride(b)
+	dim := d.dim
+	// offsets[k] is the index offset of the k-th (la, lb) combination.
+	var offsets [16]int
+	for la := 0; la < Levels; la++ {
+		for lb := 0; lb < Levels; lb++ {
+			offsets[la*Levels+lb] = la*sa + lb*sb
+		}
+	}
+	// Enumerate base indices with qudits a and b at level 0.
+	bases := d.basesFor(a, b)
+
+	// Left multiply: rho <- U rho.
+	copy(d.tmp, d.rho)
+	var v [16]complex128
+	for _, base := range bases {
+		for col := 0; col < dim; col++ {
+			for k := 0; k < 16; k++ {
+				v[k] = d.tmp[(base+offsets[k])*dim+col]
+			}
+			for r := 0; r < 16; r++ {
+				var acc complex128
+				row := &u[r]
+				for k := 0; k < 16; k++ {
+					if row[k] != 0 {
+						acc += row[k] * v[k]
+					}
+				}
+				d.rho[(base+offsets[r])*dim+col] = acc
+			}
+		}
+	}
+	// Right multiply: rho <- rho U^dagger.
+	copy(d.tmp, d.rho)
+	for _, base := range bases {
+		for row := 0; row < dim; row++ {
+			off := row * dim
+			for k := 0; k < 16; k++ {
+				v[k] = d.tmp[off+base+offsets[k]]
+			}
+			for c := 0; c < 16; c++ {
+				var acc complex128
+				ur := &u[c]
+				for k := 0; k < 16; k++ {
+					if ur[k] != 0 {
+						acc += v[k] * cmplx.Conj(ur[k])
+					}
+				}
+				d.rho[off+base+offsets[c]] = acc
+			}
+		}
+	}
+}
+
+// MixUnitary2 applies rho <- (1-p) rho + p U rho U^dagger.
+func (d *DensityMatrix) MixUnitary2(a, b int, u *[16][16]complex128, p float64) {
+	if p <= 0 {
+		return
+	}
+	before := append([]complex128(nil), d.rho...)
+	d.ApplyUnitary2(a, b, u)
+	cp := complex(p, 0)
+	cq := complex(1-p, 0)
+	for i := range d.rho {
+		d.rho[i] = cq*before[i] + cp*d.rho[i]
+	}
+}
+
+// MixUnitary1 applies rho <- (1-p) rho + p U rho U^dagger for a one-qudit u.
+func (d *DensityMatrix) MixUnitary1(q int, u *[4][4]complex128, p float64) {
+	if p <= 0 {
+		return
+	}
+	before := append([]complex128(nil), d.rho...)
+	d.ApplyUnitary1(q, u)
+	cp := complex(p, 0)
+	cq := complex(1-p, 0)
+	for i := range d.rho {
+		d.rho[i] = cq*before[i] + cp*d.rho[i]
+	}
+}
+
+// ApplyUnitary1 applies the 4x4 unitary u to qudit q.
+func (d *DensityMatrix) ApplyUnitary1(q int, u *[4][4]complex128) {
+	s := d.stride(q)
+	dim := d.dim
+	bases := d.basesFor1(q)
+	copy(d.tmp, d.rho)
+	var v [4]complex128
+	for _, base := range bases {
+		for col := 0; col < dim; col++ {
+			for k := 0; k < Levels; k++ {
+				v[k] = d.tmp[(base+k*s)*dim+col]
+			}
+			for r := 0; r < Levels; r++ {
+				var acc complex128
+				for k := 0; k < Levels; k++ {
+					if u[r][k] != 0 {
+						acc += u[r][k] * v[k]
+					}
+				}
+				d.rho[(base+r*s)*dim+col] = acc
+			}
+		}
+	}
+	copy(d.tmp, d.rho)
+	for _, base := range bases {
+		for row := 0; row < dim; row++ {
+			off := row * dim
+			for k := 0; k < Levels; k++ {
+				v[k] = d.tmp[off+base+k*s]
+			}
+			for c := 0; c < Levels; c++ {
+				var acc complex128
+				for k := 0; k < Levels; k++ {
+					if u[c][k] != 0 {
+						acc += v[k] * cmplx.Conj(u[c][k])
+					}
+				}
+				d.rho[off+base+c*s] = acc
+			}
+		}
+	}
+}
+
+// Reset applies the reset channel |0><k| on qudit q: rho becomes
+// |0><0|_q tensor Tr_q(rho).
+func (d *DensityMatrix) Reset(q int) {
+	s := d.stride(q)
+	dim := d.dim
+	for i := range d.tmp {
+		d.tmp[i] = 0
+	}
+	// Iterate over all (row, col) pairs whose q-digit agrees on both sides
+	// and accumulate each diagonal-in-q block into the q-digit-0 cell.
+	for row := 0; row < dim; row++ {
+		rq := (row / s) % Levels
+		row0 := row - rq*s
+		for col := 0; col < dim; col++ {
+			cq := (col / s) % Levels
+			if cq != rq {
+				continue
+			}
+			col0 := col - cq*s
+			d.tmp[row0*dim+col0] += d.rho[row*dim+col]
+		}
+	}
+	copy(d.rho, d.tmp)
+}
+
+// LeakPopulation returns the probability qudit q is in {|2>, |3>}.
+func (d *DensityMatrix) LeakPopulation(q int) float64 {
+	s := d.stride(q)
+	var p float64
+	for i := 0; i < d.dim; i++ {
+		if lv := (i / s) % Levels; lv >= 2 {
+			p += real(d.rho[i*d.dim+i])
+		}
+	}
+	return p
+}
+
+// MeasureProbs returns the probabilities of classifying qudit q as 0, 1 or
+// leaked under a projective Z-basis measurement.
+func (d *DensityMatrix) MeasureProbs(q int) (p0, p1, pL float64) {
+	s := d.stride(q)
+	for i := 0; i < d.dim; i++ {
+		w := real(d.rho[i*d.dim+i])
+		switch (i / s) % Levels {
+		case 0:
+			p0 += w
+		case 1:
+			p1 += w
+		default:
+			pL += w
+		}
+	}
+	return p0, p1, pL
+}
+
+// basesFor enumerates all basis indices whose digits at qudits a and b are
+// zero; adding the (la, lb) offsets spans the full space.
+func (d *DensityMatrix) basesFor(a, b int) []int {
+	sa, sb := d.stride(a), d.stride(b)
+	out := make([]int, 0, d.dim/16)
+	for i := 0; i < d.dim; i++ {
+		if (i/sa)%Levels == 0 && (i/sb)%Levels == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (d *DensityMatrix) basesFor1(q int) []int {
+	s := d.stride(q)
+	out := make([]int, 0, d.dim/Levels)
+	for i := 0; i < d.dim; i++ {
+		if (i/s)%Levels == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package qudit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewIsGroundState(t *testing.T) {
+	d := New(2)
+	if d.Dim() != 16 || d.N() != 2 {
+		t.Fatalf("dims: %d, %d", d.Dim(), d.N())
+	}
+	if cmplx.Abs(d.Trace()-1) > 1e-12 {
+		t.Fatalf("trace = %v", d.Trace())
+	}
+	p0, p1, pl := d.MeasureProbs(0)
+	if !approx(p0, 1, 1e-12) || p1 != 0 || pl != 0 {
+		t.Fatalf("ground state measure probs: %v %v %v", p0, p1, pl)
+	}
+}
+
+func TestSetBasisAndLeakPopulation(t *testing.T) {
+	d := New(3)
+	d.SetBasis([]int{2, 1, 0})
+	if !approx(d.LeakPopulation(0), 1, 1e-12) {
+		t.Fatal("qudit 0 should be fully leaked")
+	}
+	if !approx(d.LeakPopulation(1), 0, 1e-12) || !approx(d.LeakPopulation(2), 0, 1e-12) {
+		t.Fatal("qudits 1, 2 should be unleaked")
+	}
+	_, p1, _ := d.MeasureProbs(1)
+	if !approx(p1, 1, 1e-12) {
+		t.Fatal("qudit 1 should measure 1")
+	}
+}
+
+func TestGatesAreUnitary(t *testing.T) {
+	for name, u := range map[string]*[16][16]complex128{
+		"CNOT":             CNOT(),
+		"LeakageTransport": LeakageTransport(),
+		"ConditionalRX":    ConditionalRX(0.65 * math.Pi),
+		"Identity":         Identity16(),
+	} {
+		if !IsUnitary(u, 1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	cases := [][2][2]int{
+		// {in control, in target} -> {out control, out target}
+		{{0, 0}, {0, 0}},
+		{{0, 1}, {0, 1}},
+		{{1, 0}, {1, 1}},
+		{{1, 1}, {1, 0}},
+		{{2, 0}, {2, 0}}, // leaked control: identity
+		{{2, 1}, {2, 1}},
+		{{1, 2}, {1, 2}}, // leaked target: identity
+		{{3, 1}, {3, 1}},
+	}
+	u := CNOT()
+	for _, c := range cases {
+		d := New(2)
+		d.SetBasis([]int{c[0][0], c[0][1]})
+		d.ApplyUnitary2(0, 1, u)
+		want := New(2)
+		want.SetBasis([]int{c[1][0], c[1][1]})
+		for i := range d.rho {
+			if cmplx.Abs(d.rho[i]-want.rho[i]) > 1e-12 {
+				t.Fatalf("CNOT|%d%d> wrong", c[0][0], c[0][1])
+			}
+		}
+	}
+}
+
+func TestLeakageTransportMovesPopulation(t *testing.T) {
+	d := New(2)
+	d.SetBasis([]int{2, 0})
+	d.ApplyUnitary2(0, 1, LeakageTransport())
+	if !approx(d.LeakPopulation(0), 0, 1e-12) || !approx(d.LeakPopulation(1), 1, 1e-12) {
+		t.Fatalf("transport failed: %v, %v", d.LeakPopulation(0), d.LeakPopulation(1))
+	}
+}
+
+func TestMixedTransportSplitsPopulation(t *testing.T) {
+	d := New(2)
+	d.SetBasis([]int{2, 0})
+	d.MixUnitary2(0, 1, LeakageTransport(), 0.1)
+	if !approx(d.LeakPopulation(0), 0.9, 1e-12) || !approx(d.LeakPopulation(1), 0.1, 1e-12) {
+		t.Fatalf("mixed transport: %v, %v", d.LeakPopulation(0), d.LeakPopulation(1))
+	}
+	if cmplx.Abs(d.Trace()-1) > 1e-12 {
+		t.Fatalf("trace broken: %v", d.Trace())
+	}
+}
+
+func TestConditionalRXOnLeakedControl(t *testing.T) {
+	theta := 0.65 * math.Pi
+	d := New(2)
+	d.SetBasis([]int{2, 0})
+	d.ApplyUnitary2(0, 1, ConditionalRX(theta))
+	_, p1, _ := d.MeasureProbs(1)
+	want := math.Pow(math.Sin(theta/2), 2)
+	if !approx(p1, want, 1e-9) {
+		t.Fatalf("RX rotated target to P(1)=%v, want %v", p1, want)
+	}
+	// Unleaked control: no rotation.
+	d2 := New(2)
+	d2.ApplyUnitary2(0, 1, ConditionalRX(theta))
+	_, p1, _ = d2.MeasureProbs(1)
+	if !approx(p1, 0, 1e-12) {
+		t.Fatal("RX fired with unleaked control")
+	}
+}
+
+func TestRaiseLower12(t *testing.T) {
+	d := New(1)
+	d.SetBasis([]int{1})
+	d.ApplyUnitary1(0, RaiseLower12())
+	if !approx(d.LeakPopulation(0), 1, 1e-12) {
+		t.Fatal("injection did not raise |1> to |2>")
+	}
+	d.ApplyUnitary1(0, RaiseLower12())
+	if !approx(d.LeakPopulation(0), 0, 1e-12) {
+		t.Fatal("injection is not self-inverse")
+	}
+}
+
+func TestHadamard01(t *testing.T) {
+	d := New(1)
+	d.ApplyUnitary1(0, Hadamard01())
+	p0, p1, _ := d.MeasureProbs(0)
+	if !approx(p0, 0.5, 1e-12) || !approx(p1, 0.5, 1e-12) {
+		t.Fatalf("H|0> gives %v, %v", p0, p1)
+	}
+	d.ApplyUnitary1(0, Hadamard01())
+	p0, _, _ = d.MeasureProbs(0)
+	if !approx(p0, 1, 1e-12) {
+		t.Fatal("H is not self-inverse")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(2)
+	d.SetBasis([]int{3, 1})
+	d.ApplyUnitary2(0, 1, LeakageTransport()) // |3,1> -> |1,3>
+	d.Reset(0)
+	p0, _, _ := d.MeasureProbs(0)
+	if !approx(p0, 1, 1e-12) {
+		t.Fatal("reset did not return qudit to |0>")
+	}
+	if cmplx.Abs(d.Trace()-1) > 1e-12 {
+		t.Fatalf("reset broke the trace: %v", d.Trace())
+	}
+	// The spectator received the transported |3> and must keep it.
+	if !approx(d.LeakPopulation(1), 1, 1e-12) {
+		t.Fatal("reset disturbed the spectator qudit")
+	}
+}
+
+// TestChannelSanity: random basis states pushed through a random gate
+// sequence keep unit trace, tiny hermiticity defect, and probabilities
+// summing to one.
+func TestChannelSanity(t *testing.T) {
+	cnot, lt, crx, inj := CNOT(), LeakageTransport(), ConditionalRX(1.1), RaiseLower12()
+	f := func(l0, l1, seq uint8) bool {
+		d := New(2)
+		d.SetBasis([]int{int(l0 % 4), int(l1 % 4)})
+		for k := 0; k < 4; k++ {
+			switch (seq >> (2 * k)) & 3 {
+			case 0:
+				d.ApplyUnitary2(0, 1, cnot)
+			case 1:
+				d.MixUnitary2(0, 1, lt, 0.3)
+			case 2:
+				d.ApplyUnitary2(1, 0, crx)
+			case 3:
+				d.MixUnitary1(0, inj, 0.2)
+			}
+		}
+		if cmplx.Abs(d.Trace()-1) > 1e-9 || d.HermiticityDefect() > 1e-9 {
+			return false
+		}
+		p0, p1, pl := d.MeasureProbs(0)
+		return approx(p0+p1+pl, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStudyReproducesFigure8 checks the qualitative claims of Section 3.3.
+func TestStudyReproducesFigure8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the 5-ququart study takes a few seconds")
+	}
+	pts := Study(StudyParams{})
+	if len(pts) == 0 {
+		t.Fatal("empty study")
+	}
+	byStep := map[string]StudyPoint{}
+	for _, p := range pts {
+		byStep[p.Step] = p
+	}
+	// Point B: during the extraction CNOTs the parity measurement is
+	// corrupted — far from the ideal P(correct) = 1.
+	if b := byStep["R1 CNOT q3"]; b.PCorrect > 0.6 {
+		t.Errorf("point B: P(correct) = %v, expected heavily corrupted", b.PCorrect)
+	}
+	// Point A: after the forward SWAP the parity qubit has absorbed
+	// substantial leakage from q0 (LRCs facilitate leakage transport).
+	if a := byStep["R1 SWAP 3/3"]; a.Leak[4] < 0.15 {
+		t.Errorf("point A: parity leakage %v, expected > 0.15", a.Leak[4])
+	}
+	// The MR on the data wire clears q0 entirely.
+	if m := byStep["R1 MR q0"]; m.Leak[0] != 0 {
+		t.Errorf("MR left leakage %v on q0", m.Leak[0])
+	}
+	// Round 2: the leaked parity spreads leakage onto the other data qubits.
+	last := pts[len(pts)-1]
+	first := pts[0]
+	for q := 1; q <= 3; q++ {
+		if last.Leak[q] <= first.Leak[q] {
+			t.Errorf("q%d leakage did not grow in round 2: %v -> %v",
+				q, first.Leak[q], last.Leak[q])
+		}
+	}
+	// Point C: the final measurement is barely better than random.
+	if last.PCorrect < 0.25 || last.PCorrect > 0.6 {
+		t.Errorf("point C: P(correct) = %v, expected slightly better than random", last.PCorrect)
+	}
+}

@@ -1,0 +1,103 @@
+package qudit
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Identity16 returns the two-ququart identity.
+func Identity16() *[16][16]complex128 {
+	var u [16][16]complex128
+	for i := 0; i < 16; i++ {
+		u[i][i] = 1
+	}
+	return &u
+}
+
+// CNOT returns the two-ququart CNOT calibrated on the computational
+// subspace: it flips the target's {|0>, |1>} conditioned on the control
+// being |1>, and acts as identity whenever either operand is outside the
+// computational basis.
+func CNOT() *[16][16]complex128 {
+	u := Identity16()
+	swapCols(u, idx2(1, 0), idx2(1, 1))
+	return u
+}
+
+// LeakageTransport returns the unitary exchanging leakage between the two
+// operands: |2,a> <-> |a,2> and |3,a> <-> |a,3> for a in {0, 1}. It is
+// applied with probability pLT after CNOTs whose operand is leaked.
+func LeakageTransport() *[16][16]complex128 {
+	u := Identity16()
+	for _, l := range []int{2, 3} {
+		for _, a := range []int{0, 1} {
+			swapCols(u, idx2(l, a), idx2(a, l))
+		}
+	}
+	return u
+}
+
+// ConditionalRX returns the unitary applying RX(theta) on the target's
+// computational subspace when the control is leaked (in {|2>, |3>}), and
+// identity otherwise. Swap the operand order in ApplyUnitary2 to condition
+// on the other qudit.
+func ConditionalRX(theta float64) *[16][16]complex128 {
+	u := Identity16()
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	for _, l := range []int{2, 3} {
+		i0, i1 := idx2(l, 0), idx2(l, 1)
+		u[i0][i0], u[i0][i1] = c, s
+		u[i1][i0], u[i1][i1] = s, c
+	}
+	return u
+}
+
+// RaiseLower12 returns the single-ququart unitary swapping |1> and |2>,
+// modeling leakage injection by a miscalibrated pulse.
+func RaiseLower12() *[4][4]complex128 {
+	var u [4][4]complex128
+	u[0][0], u[3][3] = 1, 1
+	u[1][2], u[2][1] = 1, 1
+	return &u
+}
+
+// Hadamard01 returns a Hadamard on the computational subspace, identity on
+// the leaked levels.
+func Hadamard01() *[4][4]complex128 {
+	var u [4][4]complex128
+	h := complex(1/math.Sqrt2, 0)
+	u[0][0], u[0][1] = h, h
+	u[1][0], u[1][1] = h, -h
+	u[2][2], u[3][3] = 1, 1
+	return &u
+}
+
+// idx2 maps a pair of levels to a two-ququart basis index.
+func idx2(a, b int) int { return a*Levels + b }
+
+func swapCols(u *[16][16]complex128, a, b int) {
+	for r := 0; r < 16; r++ {
+		u[r][a], u[r][b] = u[r][b], u[r][a]
+	}
+}
+
+// IsUnitary reports whether u is unitary within tol (tests).
+func IsUnitary(u *[16][16]complex128, tol float64) bool {
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			var acc complex128
+			for k := 0; k < 16; k++ {
+				acc += u[k][i] * cmplx.Conj(u[k][j])
+			}
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(acc-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

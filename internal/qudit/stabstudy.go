@@ -1,0 +1,107 @@
+package qudit
+
+// This file reproduces the density-matrix study of Section 3.3 (Figures 7
+// and 8): a single Z stabilizer with data ququarts q0..q3 and parity ququart
+// P, with q0 initialized in |2>, simulated through an LRC round followed by
+// a plain round. After every CNOT the channel sequence of Figure 7(b) is
+// applied: leakage transport, RX(0.65*pi) on unleaked operands of leaked
+// CNOTs, and leakage injection.
+
+// StudyParams configures the stabilizer study. Zero values select the
+// paper's constants.
+type StudyParams struct {
+	// Theta is the conditional RX angle; the paper uses 0.65*pi as measured
+	// on Google Sycamore.
+	Theta float64
+	// PTransport is the per-CNOT leakage transport probability (0.1).
+	PTransport float64
+	// PLeak is the per-operand leakage injection probability (1e-4).
+	PLeak float64
+}
+
+func (p StudyParams) filled() StudyParams {
+	if p.Theta == 0 {
+		p.Theta = 0.65 * 3.141592653589793
+	}
+	if p.PTransport == 0 {
+		p.PTransport = 0.1
+	}
+	if p.PLeak == 0 {
+		p.PLeak = 1e-4
+	}
+	return p
+}
+
+// StudyPoint is one sample of the Figure 8 time series, taken after each
+// two-qubit operation.
+type StudyPoint struct {
+	// Step labels the operation just applied.
+	Step string
+	// Leak holds the leakage population of q0..q3 and P (index 4).
+	Leak [5]float64
+	// PCorrect is the probability that measuring P now yields the correct
+	// stabilizer outcome (0: there are no X errors on the data qubits).
+	PCorrect float64
+	// PLeakedOutcome is the probability P is classified |L>.
+	PLeakedOutcome float64
+}
+
+// Study runs the two-round experiment of Figure 7(a) and returns the time
+// series of Figure 8. Qudit order: q0, q1, q2, q3, P.
+func Study(params StudyParams) []StudyPoint {
+	params = params.filled()
+	const parity = 4
+	d := New(5)
+	d.SetBasis([]int{2, 0, 0, 0, 0}) // q0 starts leaked in |2>
+
+	cnot := CNOT()
+	lt := LeakageTransport()
+	crx := ConditionalRX(params.Theta)
+	inj := RaiseLower12()
+
+	var series []StudyPoint
+	record := func(step string) {
+		pt := StudyPoint{Step: step}
+		for q := 0; q < 5; q++ {
+			pt.Leak[q] = d.LeakPopulation(q)
+		}
+		p0, _, pl := d.MeasureProbs(parity)
+		pt.PCorrect = p0
+		pt.PLeakedOutcome = pl
+		series = append(series, pt)
+	}
+
+	noisyCNOT := func(a, b int, step string) {
+		d.ApplyUnitary2(a, b, cnot)
+		d.MixUnitary2(a, b, lt, params.PTransport)
+		// RX on the unleaked operand when the other is leaked, both
+		// directions (ConditionalRX conditions on its first operand).
+		d.ApplyUnitary2(a, b, crx)
+		d.ApplyUnitary2(b, a, crx)
+		d.MixUnitary1(a, inj, params.PLeak)
+		d.MixUnitary1(b, inj, params.PLeak)
+		record(step)
+	}
+
+	// Round 1: extraction with an LRC on q0.
+	noisyCNOT(0, parity, "R1 CNOT q0")
+	noisyCNOT(1, parity, "R1 CNOT q1")
+	noisyCNOT(2, parity, "R1 CNOT q2")
+	noisyCNOT(3, parity, "R1 CNOT q3") // point B region: P already corrupted
+	// Forward SWAP of the LRC (three CNOTs between P and q0).
+	noisyCNOT(parity, 0, "R1 SWAP 1/3")
+	noisyCNOT(0, parity, "R1 SWAP 2/3")
+	noisyCNOT(parity, 0, "R1 SWAP 3/3") // point A: P holds q0's leaked state
+	// Measure and reset the data wire (q0), then return P's state.
+	d.Reset(0)
+	record("R1 MR q0")
+	noisyCNOT(parity, 0, "R1 return 1/2")
+	noisyCNOT(0, parity, "R1 return 2/2")
+
+	// Round 2: plain extraction; P spreads any residual leakage.
+	noisyCNOT(0, parity, "R2 CNOT q0")
+	noisyCNOT(1, parity, "R2 CNOT q1")
+	noisyCNOT(2, parity, "R2 CNOT q2")
+	noisyCNOT(3, parity, "R2 CNOT q3") // point C: measurement ~ barely better than random
+	return series
+}

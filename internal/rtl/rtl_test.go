@@ -1,0 +1,126 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		sv, err := Generate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sv, "module eraser_d") {
+			t.Fatal("missing module declaration")
+		}
+		if !strings.Contains(sv, "endmodule") {
+			t.Fatal("missing endmodule")
+		}
+		if strings.Count(sv, "begin") != strings.Count(sv, "end")-strings.Count(sv, "endmodule") {
+			t.Errorf("d=%d: unbalanced begin/end (%d begin, %d end)",
+				d, strings.Count(sv, "begin"),
+				strings.Count(sv, "end")-strings.Count(sv, "endmodule"))
+		}
+		// Port widths: syndrome is one bit per stabilizer, outputs one per
+		// data qubit.
+		ns, nd := d*d-1, d*d
+		if !strings.Contains(sv, sprintfWidth("syndrome", ns)) {
+			t.Errorf("d=%d: syndrome port width wrong", d)
+		}
+		if !strings.Contains(sv, sprintfWidth("lrc_valid", nd)) {
+			t.Errorf("d=%d: lrc_valid port width wrong", d)
+		}
+		// One speculation comparator per data qubit.
+		if got := strings.Count(sv, ">= 3'd"); got != nd {
+			t.Errorf("d=%d: %d comparators, want %d", d, got, nd)
+		}
+	}
+}
+
+func sprintfWidth(name string, n int) string {
+	return "[" + itoa(n-1) + ":0] " + name
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestGenerateRejectsBadDistance(t *testing.T) {
+	if _, err := Generate(4); err == nil {
+		t.Fatal("Generate(4) should fail")
+	}
+	if _, err := Estimate(2); err == nil {
+		t.Fatal("Estimate(2) should fail")
+	}
+}
+
+// TestEstimateTracksTable3: the structural model must stay within 25% of
+// the paper's Table 3 utilization percentages.
+func TestEstimateTracksTable3(t *testing.T) {
+	paper := map[int][2]float64{ // d -> {LUT%, FF%}
+		3:  {0.04, 0.02},
+		5:  {0.12, 0.05},
+		7:  {0.26, 0.10},
+		9:  {0.42, 0.18},
+		11: {0.76, 0.26},
+	}
+	for d, want := range paper {
+		r, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel(r.LUTPercent, want[0]) > 0.25 {
+			t.Errorf("d=%d: LUT%% = %.2f, paper %.2f", d, r.LUTPercent, want[0])
+		}
+		if rel(r.FFPercent, want[1]) > 0.25 {
+			t.Errorf("d=%d: FF%% = %.2f, paper %.2f", d, r.FFPercent, want[1])
+		}
+		if r.LatencyNS >= 6 {
+			t.Errorf("d=%d: latency %v ns exceeds the paper's ~5 ns", d, r.LatencyNS)
+		}
+	}
+}
+
+func rel(got, want float64) float64 {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / want
+}
+
+func TestEstimateMonotonic(t *testing.T) {
+	prevLUT, prevFF := 0, 0
+	for _, d := range []int{3, 5, 7, 9, 11} {
+		r, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LUTs <= prevLUT || r.FFs <= prevFF {
+			t.Fatalf("resources not increasing at d=%d", d)
+		}
+		prevLUT, prevFF = r.LUTs, r.FFs
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	s, err := Table3([]int{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "LUT (%)") || !strings.Contains(s, "\n3") {
+		t.Fatalf("table malformed:\n%s", s)
+	}
+	if _, err := Table3([]int{4}); err == nil {
+		t.Fatal("Table3 with bad distance should fail")
+	}
+}

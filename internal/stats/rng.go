@@ -1,0 +1,123 @@
+// Package stats provides the random-number and statistics utilities shared by
+// the simulator and the experiment harness: a splittable deterministic RNG so
+// that every shot of every experiment is independently reproducible, Wilson
+// confidence intervals for logical-error-rate estimates, and small series
+// helpers used when assembling figure data.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is the random source used throughout the simulator. It wraps a PCG
+// generator seeded deterministically so experiments are reproducible while
+// remaining statistically independent across shots.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded from the pair (seed, stream). Distinct
+// (seed, stream) pairs yield independent streams; identical pairs yield
+// identical sequences.
+func NewRNG(seed, stream uint64) *RNG {
+	// Mix the words through SplitMix64 so that small consecutive seeds do
+	// not produce correlated PCG states.
+	return &RNG{src: rand.New(rand.NewPCG(splitmix64(seed), splitmix64(stream^0x9e3779b97f4a7c15)))}
+}
+
+// Split derives an independent child generator for the given shot index.
+// Splitting is deterministic: the same parent seed and index always produce
+// the same child stream.
+func (r *RNG) Split(index uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64()^splitmix64(index), splitmix64(index+0x517cc1b727220a95)))}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Bit returns 0 or 1 with equal probability.
+func (r *RNG) Bit() uint8 { return uint8(r.src.Uint64() & 1) }
+
+// IntN returns a uniform integer in [0, n).
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Wilson returns the Wilson score interval (lo, hi) for k successes out of n
+// trials at the given z (use 1.96 for 95% confidence). It is well behaved for
+// k = 0 and k = n, unlike the normal approximation.
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	den := 1 + z2/nf
+	center := (p + z2/(2*nf)) / den
+	half := z / den * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio returns a/b, or 0 when b == 0. It is used for "X× improvement"
+// summaries where a zero denominator means the metric was unmeasurable.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

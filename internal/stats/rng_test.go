@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 7)
+	b := NewRNG(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGStreamsDiffer(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams look identical: %d/64 equal draws", same)
+	}
+}
+
+func TestRNGSplitDeterminism(t *testing.T) {
+	mk := func() *RNG { return NewRNG(5, 5) }
+	a := mk().Split(3)
+	b := mk().Split(3)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := NewRNG(1, 1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := NewRNG(2, 2)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency %v", f)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := NewRNG(3, 3)
+	const n = 100000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(r.Bit())
+	}
+	f := float64(ones) / n
+	if math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("Bit frequency %v", f)
+	}
+}
+
+func TestWilsonBasics(t *testing.T) {
+	lo, hi := Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0,0) = %v,%v", lo, hi)
+	}
+	lo, hi = Wilson(0, 100, 1.96)
+	if lo != 0 {
+		t.Fatalf("Wilson(0,100) lo = %v", lo)
+	}
+	if hi <= 0 || hi > 0.1 {
+		t.Fatalf("Wilson(0,100) hi = %v", hi)
+	}
+	lo, hi = Wilson(100, 100, 1.96)
+	if hi < 1-1e-9 {
+		t.Fatalf("Wilson(100,100) hi = %v", hi)
+	}
+	if lo >= 1 || lo < 0.9 {
+		t.Fatalf("Wilson(100,100) lo = %v", lo)
+	}
+}
+
+// TestWilsonProperties checks, for arbitrary (k, n), that the interval is
+// ordered, inside [0,1], and contains the point estimate.
+func TestWilsonProperties(t *testing.T) {
+	f := func(k16, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		k := int(k16) % (n + 1)
+		lo, hi := Wilson(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= hi && lo <= p+1e-12 && hi >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	lo1, hi1 := Wilson(10, 100, 1.96)
+	lo2, hi2 := Wilson(100, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not narrow: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestMeanMaxRatio(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-slice helpers should return 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Ratio(6, 3); got != 2 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(6, 0); got != 0 {
+		t.Fatalf("Ratio by zero = %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package surfacecode
+
+// maximumBipartiteMatching computes a maximum matching between nLeft data
+// qubits and nRight parity qubits using the Hopcroft-Karp algorithm. adj[q]
+// lists the parity qubits adjacent to data qubit q. The returned slice maps
+// each data qubit to its matched parity qubit, or -1 if unmatched.
+//
+// For the rotated surface code the maximum matching has size d*d-1 (every
+// parity qubit matched), leaving exactly one data qubit over — the qubit
+// whose LRC the Always-LRC policy carries into the next round (Figure 3 of
+// the paper).
+func maximumBipartiteMatching(nLeft, nRight int, adj [][]int) []int {
+	const inf = 1 << 30
+	matchL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dfs(u)
+			}
+		}
+	}
+	return matchL
+}
