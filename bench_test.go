@@ -20,6 +20,7 @@ import (
 	"repro/internal/qudit"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/sim/batch"
 	"repro/internal/stats"
 	"repro/internal/surfacecode"
 )
@@ -389,6 +390,54 @@ func BenchmarkAblationMatcher(b *testing.B) {
 	}
 	b.ReportMetric(exact.Weight, "exact_weight")
 	b.ReportMetric(refined.Weight, "refined_weight")
+}
+
+// ------------------------------------------------- batch fast path vs scalar
+
+// BenchmarkBatchVsScalar pits the word-parallel batch simulator against the
+// scalar per-shot simulator on a Figure-1c-style d=5 baseline sweep (NoLRC
+// and Always-LRCs, the two schedules that dominate the baseline curves).
+// Workers is pinned to 1 so the ratio measures simulator throughput, not
+// scheduling. The batch path must be >= 5x faster (see DESIGN.md).
+func BenchmarkBatchVsScalar(b *testing.B) {
+	base := experiment.Config{Distance: 5, Cycles: 4, P: 1e-3, Shots: 256,
+		Seed: 7, Workers: 1}
+	for _, pol := range []struct {
+		name string
+		kind core.Kind
+	}{{"noLRC", core.PolicyNone}, {"always", core.PolicyAlways}} {
+		cfg := base
+		cfg.Policy = pol.kind
+		b.Run(pol.name+"/scalar", func(b *testing.B) {
+			c := cfg
+			c.ForceScalar = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiment.Run(c)
+			}
+		})
+		b.Run(pol.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiment.Run(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchRoundD7 is BenchmarkSimRoundD7's batch counterpart: one
+// syndrome extraction round advancing 64 shots at once.
+func BenchmarkBatchRoundD7(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	s := batch.New(l, noise.Standard(1e-3), surfacecode.KindZ)
+	s.Reset(stats.NewRNG(1, 1))
+	builder := circuit.NewBuilder(l)
+	ops := builder.Round(circuit.Plan{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRound(ops)
+	}
 }
 
 // -------------------------------------------------------- substrate micro

@@ -1,0 +1,44 @@
+package decoder
+
+import "math/bits"
+
+// BatchLanes is the number of shot lanes in one word of the batch simulator
+// (internal/sim/batch); kept here so this package does not import it.
+const BatchLanes = 64
+
+// BatchCollector fans the batch simulator's per-stabilizer detection-event
+// words out into the per-lane event lists the decoding engines consume. It
+// owns one reusable event buffer per lane, so the steady-state experiment
+// loop performs no per-shot allocations while gathering events.
+type BatchCollector struct {
+	lanes [BatchLanes][]Event
+}
+
+// NewBatchCollector returns a collector with empty per-lane buffers.
+func NewBatchCollector() *BatchCollector {
+	c := &BatchCollector{}
+	for i := range c.lanes {
+		c.lanes[i] = make([]Event, 0, 16)
+	}
+	return c
+}
+
+// Reset truncates every lane's event list for a new batch.
+func (c *BatchCollector) Reset() {
+	for i := range c.lanes {
+		c.lanes[i] = c.lanes[i][:0]
+	}
+}
+
+// Add appends Event{Z: z, Round: round} to every lane whose bit is set in
+// word. Cost is proportional to the number of set bits, which is small at
+// physical error rates of interest.
+func (c *BatchCollector) Add(word uint64, z, round int) {
+	for ; word != 0; word &= word - 1 {
+		lane := bits.TrailingZeros64(word)
+		c.lanes[lane] = append(c.lanes[lane], Event{Z: z, Round: round})
+	}
+}
+
+// Lane returns lane i's accumulated events, aliasing the internal buffer.
+func (c *BatchCollector) Lane(i int) []Event { return c.lanes[i] }

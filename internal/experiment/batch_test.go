@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// TestBatchEligibility: static policies ride the fast path, adaptive
+// policies and opted-out configs do not.
+func TestBatchEligibility(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{Policy: core.PolicyNone}, true},
+		{Config{Policy: core.PolicyAlways}, true},
+		{Config{Policy: core.PolicyAlways, Protocol: circuit.ProtocolDQLR}, true},
+		{Config{Policy: core.PolicyEraser}, false},
+		{Config{Policy: core.PolicyEraserM}, false},
+		{Config{Policy: core.PolicyOptimal}, false},
+		{Config{Policy: core.PolicyNone, ForceScalar: true}, false},
+		{Config{Policy: core.PolicyNone, Tune: func(core.Policy) {}}, false},
+	} {
+		if got := batchEligible(tc.cfg); got != tc.want {
+			t.Errorf("batchEligible(policy=%v, forceScalar=%v) = %v, want %v",
+				tc.cfg.Policy, tc.cfg.ForceScalar, got, tc.want)
+		}
+	}
+}
+
+// TestBatchDeterministicAcrossWorkers: the batch path's integer accumulators
+// are identical for any worker count and across repeated runs, including a
+// partial final batch (shots not a multiple of 64).
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 3, P: 2e-3, Shots: 150, Seed: 5,
+		Policy: core.PolicyAlways, Workers: 1}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.LogicalErrors != b.LogicalErrors || a.TruePos != b.TruePos {
+		t.Fatal("batch path not deterministic for a fixed seed")
+	}
+	cfg.Workers = 4
+	c := Run(cfg)
+	if a.LogicalErrors != c.LogicalErrors || a.TruePos != c.TruePos ||
+		a.FalsePos != c.FalsePos || a.FalseNeg != c.FalseNeg {
+		t.Fatalf("worker count changed batch results: %+v vs %+v",
+			a.LogicalErrors, c.LogicalErrors)
+	}
+	for r := range a.LPRTotal {
+		if a.LPRTotal[r] != b.LPRTotal[r] {
+			t.Fatalf("LPR series diverged at round %d", r)
+		}
+	}
+}
+
+// TestBatchPartialBatchAccounting: with 70 shots (64 + 6) every per-decision
+// counter must cover exactly the active lanes.
+func TestBatchPartialBatchAccounting(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 2, P: 1e-3, Shots: 70, Seed: 3,
+		Policy: core.PolicyAlways}
+	res := Run(cfg)
+	total := res.TruePos + res.FalsePos + res.TrueNeg + res.FalseNeg
+	want := int64(70) * int64(res.Rounds) * int64(9)
+	if total != want {
+		t.Fatalf("decision count %d, want %d", total, want)
+	}
+	if res.Shots != 70 {
+		t.Fatalf("shots = %d", res.Shots)
+	}
+}
+
+// TestBatchNoiselessIsPerfect: the batch path decodes every noiseless shot
+// correctly with zero leakage, for plain, Always-SWAP and Always-DQLR
+// schedules in both memory bases.
+func TestBatchNoiselessIsPerfect(t *testing.T) {
+	np := noise.Standard(0)
+	for _, tc := range []struct {
+		name  string
+		pol   core.Kind
+		proto circuit.Protocol
+		basis surfacecode.Kind
+	}{
+		{"none-z", core.PolicyNone, circuit.ProtocolSwap, surfacecode.KindZ},
+		{"always-z", core.PolicyAlways, circuit.ProtocolSwap, surfacecode.KindZ},
+		{"always-dqlr-z", core.PolicyAlways, circuit.ProtocolDQLR, surfacecode.KindZ},
+		{"none-x", core.PolicyNone, circuit.ProtocolSwap, surfacecode.KindX},
+		{"always-x", core.PolicyAlways, circuit.ProtocolSwap, surfacecode.KindX},
+	} {
+		res := Run(Config{Distance: 3, Cycles: 3, Noise: &np, Shots: 100, Seed: 1,
+			Policy: tc.pol, Protocol: tc.proto, Basis: tc.basis})
+		if res.LogicalErrors != 0 {
+			t.Errorf("%s: noiseless batch run produced %d logical errors",
+				tc.name, res.LogicalErrors)
+		}
+		if res.MeanLPR() != 0 {
+			t.Errorf("%s: noiseless batch run produced leakage %v", tc.name, res.MeanLPR())
+		}
+	}
+}
+
+// TestBatchMatchesScalarStatistically is the engine-agreement test: at
+// matched configs and shot counts the batch and scalar simulators must
+// produce LERs with overlapping 95% Wilson intervals and comparable leakage
+// populations, for every batch-eligible schedule.
+func TestBatchMatchesScalarStatistically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	overlap := func(al, ah, bl, bh float64) bool { return al <= bh && bl <= ah }
+	for _, tc := range []struct {
+		name  string
+		pol   core.Kind
+		proto circuit.Protocol
+	}{
+		{"none", core.PolicyNone, circuit.ProtocolSwap},
+		{"always", core.PolicyAlways, circuit.ProtocolSwap},
+		{"always-dqlr", core.PolicyAlways, circuit.ProtocolDQLR},
+	} {
+		cfg := Config{Distance: 3, Cycles: 4, P: 3e-3, Shots: 4000, Seed: 42,
+			Policy: tc.pol, Protocol: tc.proto}
+		bat := Run(cfg)
+		cfg.ForceScalar = true
+		sca := Run(cfg)
+		t.Logf("%s: batch LER %.4f [%.4f, %.4f], scalar LER %.4f [%.4f, %.4f]",
+			tc.name, bat.LER, bat.LERLow, bat.LERHigh, sca.LER, sca.LERLow, sca.LERHigh)
+		t.Logf("%s: batch LPR %.5f, scalar LPR %.5f", tc.name, bat.MeanLPR(), sca.MeanLPR())
+		if !overlap(bat.LERLow, bat.LERHigh, sca.LERLow, sca.LERHigh) {
+			t.Errorf("%s: batch and scalar LER intervals disjoint", tc.name)
+		}
+		// Leakage populations: same order of magnitude (both are means over
+		// thousands of rare-event observations).
+		if r := stats.Ratio(bat.MeanLPR(), sca.MeanLPR()); r < 0.5 || r > 2 {
+			t.Errorf("%s: batch/scalar LPR ratio %v outside [0.5, 2]", tc.name, r)
+		}
+		// LRC scheduling is deterministic for static policies, so the count
+		// must agree exactly.
+		if bat.LRCsPerRound != sca.LRCsPerRound {
+			t.Errorf("%s: LRCs/round %v (batch) != %v (scalar)",
+				tc.name, bat.LRCsPerRound, sca.LRCsPerRound)
+		}
+	}
+}
+
+// TestAdaptivePoliciesUnchangedByBatchPath: an adaptive policy's results are
+// bit-identical whether or not ForceScalar is set, because it never takes
+// the batch path.
+func TestAdaptivePoliciesUnchangedByBatchPath(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 3, P: 1e-3, Shots: 100, Seed: 5,
+		Policy: core.PolicyEraser, Workers: 1}
+	a := Run(cfg)
+	cfg.ForceScalar = true
+	b := Run(cfg)
+	if a.LogicalErrors != b.LogicalErrors || a.TruePos != b.TruePos ||
+		a.LRCsPerRound != b.LRCsPerRound {
+		t.Fatal("ForceScalar changed an adaptive policy's results")
+	}
+}

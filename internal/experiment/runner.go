@@ -9,6 +9,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/noise"
 	"repro/internal/sim"
+	"repro/internal/sim/batch"
 	"repro/internal/stats"
 	"repro/internal/surfacecode"
 )
@@ -51,6 +53,23 @@ type Config struct {
 	Workers int
 	// Tune optionally adjusts the policy after construction (ablations).
 	Tune func(core.Policy)
+	// ForceScalar disables the word-parallel batch fast path even for
+	// eligible static policies; benchmarks and engine-agreement tests use it
+	// to pit the two simulators against each other.
+	ForceScalar bool
+}
+
+// batchEligible reports whether the experiment can run on the word-parallel
+// batch simulator: the policy's round plans must depend only on the round
+// number (never on per-shot observations), so one op sequence can serve all
+// 64 lanes of a batch. That holds for the static NoLRC and Always-LRC
+// baselines (SWAP or DQLR protocol); the adaptive ERASER/ERASER+M policies
+// and the per-shot Optimal oracle stay on the scalar simulator.
+func batchEligible(cfg Config) bool {
+	if cfg.ForceScalar || cfg.Tune != nil {
+		return false
+	}
+	return cfg.Policy == core.PolicyNone || cfg.Policy == core.PolicyAlways
 }
 
 func (c Config) rounds() int {
@@ -148,18 +167,25 @@ func Run(cfg Config) Result {
 		dec = decoder.NewUnionFind(layout, cfg.Basis, rounds)
 	}
 	root := stats.NewRNG(cfg.Seed, configStream(cfg))
-	// Pre-draw one split token per shot so workers stay deterministic.
-	shotSeeds := make([]uint64, cfg.Shots)
-	for i := range shotSeeds {
-		shotSeeds[i] = root.Uint64()
+	// Work is split into units — individual shots on the scalar path, whole
+	// 64-lane batches on the batch path — with one pre-drawn seed per unit,
+	// so results are deterministic for any worker count.
+	useBatch := batchEligible(cfg)
+	units := cfg.Shots
+	if useBatch {
+		units = (cfg.Shots + batch.Lanes - 1) / batch.Lanes
+	}
+	seeds := make([]uint64, units)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
 	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Shots {
-		workers = cfg.Shots
+	if workers > units {
+		workers = units
 	}
 	if workers < 1 {
 		workers = 1
@@ -174,7 +200,11 @@ func Run(cfg Config) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(cfg, layout, dec, rounds, np, shotSeeds, w, workers, acc)
+			if useBatch {
+				runBatchWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+			} else {
+				runWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -223,10 +253,15 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	truth := make([]bool, layout.NumData)
 	prevTruth := make([]bool, layout.NumData)
 	events := make([]decoder.Event, 0, 64)
+	var s *sim.Simulator
 
 	for shot := w; shot < cfg.Shots; shot += stride {
 		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
-		s := sim.NewMemory(layout, np, rng, cfg.Basis)
+		if s == nil {
+			s = sim.NewMemory(layout, np, rng, cfg.Basis)
+		} else {
+			s.Reset(rng)
+		}
 		pol.Reset()
 		for i := range prevTruth {
 			prevTruth[i] = false
@@ -282,6 +317,82 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 		predicted := dec.Decode(events)
 		if predicted != s.ObservableFlip(final) {
 			acc.logicalErrors++
+		}
+	}
+}
+
+// runBatchWorker is runWorker's word-parallel counterpart: each work unit is
+// a batch of up to 64 shots running through the bit-packed simulator, with
+// detection events fanned out to per-lane lists for decoding. Static
+// policies plan identically for every lane, so one plan and one op sequence
+// per round serve the whole batch.
+func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+	rounds int, np noise.Params, batchSeeds []uint64, w, stride int, acc *shotAccum) {
+
+	builder := circuit.NewBuilder(layout)
+	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
+	bs := batch.New(layout, np, cfg.Basis)
+	col := decoder.NewBatchCollector()
+
+	// Basis-kind stabilizers with their dense decoder ordinals, once.
+	type kindStab struct{ idx, ord int }
+	var kstabs []kindStab
+	for i := range layout.Stabilizers {
+		if layout.Stabilizers[i].Kind == cfg.Basis {
+			kstabs = append(kstabs, kindStab{i, layout.KindOrdinal(cfg.Basis, i)})
+		}
+	}
+
+	for b := w; b < len(batchSeeds); b += stride {
+		lanes := batch.Lanes
+		if rem := cfg.Shots - b*batch.Lanes; rem < lanes {
+			lanes = rem
+		}
+		active := batch.LaneMask(lanes)
+		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
+		pol.Reset()
+		col.Reset()
+
+		for r := 1; r <= rounds; r++ {
+			plan := pol.PlanRound(r)
+			acc.lrcs += int64(len(plan.LRCs)) * int64(lanes)
+			// Decision accounting against the leakage state at the end of
+			// the previous round, as in the scalar path.
+			for q := 0; q < layout.NumData; q++ {
+				leakedCnt := int64(bits.OnesCount64(bs.LeakedWord(q) & active))
+				if pol.PlannedLRC(q) {
+					acc.tp += leakedCnt
+					acc.fp += int64(lanes) - leakedCnt
+				} else {
+					acc.fn += leakedCnt
+					acc.tn += int64(lanes) - leakedCnt
+				}
+			}
+
+			events := bs.RunRound(builder.Round(plan))
+			for _, ks := range kstabs {
+				if word := events[ks.idx] & active; word != 0 {
+					col.Add(word, ks.ord, r)
+				}
+			}
+			dleak, pleak := bs.LeakedCounts(active)
+			acc.lprData[r-1] += float64(dleak)
+			acc.lprParity[r-1] += float64(pleak)
+		}
+
+		final := bs.FinalMeasure(builder.FinalMeasurement())
+		fdet := bs.FinalDetectors(final)
+		for _, ks := range kstabs {
+			if word := fdet[ks.idx] & active; word != 0 {
+				col.Add(word, ks.ord, rounds+1)
+			}
+		}
+		obs := bs.ObservableFlip(final)
+		for lane := 0; lane < lanes; lane++ {
+			predicted := dec.Decode(col.Lane(lane))
+			if predicted != uint8((obs>>uint(lane))&1) {
+				acc.logicalErrors++
+			}
 		}
 	}
 }

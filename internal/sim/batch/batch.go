@@ -1,0 +1,481 @@
+// Package batch implements a Stim-style bit-packed Pauli-frame simulator
+// that runs Lanes (64) independent shots of a memory experiment at once.
+// Where the scalar simulator in internal/sim stores one bool per qubit per
+// frame, this simulator stores one uint64 word per qubit: bit i of x[q] is
+// the X frame of qubit q in shot lane i. Frame propagation through H, CNOT
+// and SWAP then becomes a handful of AND/XOR word operations serving all 64
+// shots, and syndrome extraction produces one 64-bit outcome word per
+// stabilizer.
+//
+// Noise is injected with rare-event skip sampling: error probabilities in
+// the ERASER model are ~1e-3 to 1e-4, so instead of drawing one Float64 per
+// lane per noise site, each probability keeps a stats.RNG.Geometric stream
+// that jumps directly to the next erring lane. A noise site over a full word
+// costs O(1 + 64p) random draws instead of 64.
+//
+// Lanes that hold a leaked qubit fall back to per-lane handling (random
+// Paulis on CNOT partners, leakage transport, seepage), which keeps the
+// semantics identical to the scalar simulator's Section 5.2.2 model while
+// staying cheap because leakage populations are ~1e-3.
+//
+// The simulator supports every operation the circuit builder emits except
+// OpCondReturn: the conditional swap-back needs per-shot multi-level readout
+// feedback, which only the adaptive ERASER+M policy uses — and adaptive
+// policies plan different rounds per shot, so they cannot share one op
+// sequence across lanes and run through the scalar simulator instead. The
+// multi-level classifications themselves are not modeled here for the same
+// reason: no batch-eligible policy reads them.
+package batch
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// Lanes is the number of independent shots packed into each word.
+const Lanes = 64
+
+// AllLanes is the lane mask with every lane active.
+const AllLanes = ^uint64(0)
+
+// LaneMask returns the mask selecting the first n lanes (the active lanes of
+// a partial final batch). n must be in [0, Lanes].
+func LaneMask(n int) uint64 {
+	if n >= Lanes {
+		return AllLanes
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// sampler emits 64-bit Bernoulli(p) masks using geometric skip sampling: it
+// tracks the lane-stream distance to the next success and sets only those
+// bits, so a mask costs O(1 + 64p) random draws.
+type sampler struct {
+	p    float64
+	rng  *stats.RNG
+	skip int
+}
+
+func (m *sampler) reset(p float64, rng *stats.RNG) {
+	m.p, m.rng = p, rng
+	m.skip = 0
+	if p > 0 && p < 1 {
+		m.skip = rng.Geometric(p)
+	}
+}
+
+// next returns a word whose bits are independently 1 with probability p.
+func (m *sampler) next() uint64 {
+	if m.p <= 0 {
+		return 0
+	}
+	if m.p >= 1 {
+		return AllLanes
+	}
+	if m.skip >= Lanes {
+		m.skip -= Lanes
+		return 0
+	}
+	var mask uint64
+	for m.skip < Lanes {
+		mask |= 1 << uint(m.skip)
+		m.skip += 1 + m.rng.Geometric(m.p)
+	}
+	m.skip -= Lanes
+	return mask
+}
+
+// Simulator holds the bit-packed frame state for one batch of Lanes shots.
+// All exported slice results alias internal buffers valid until the next
+// call that produces them; a Simulator is reused across batches via Reset.
+type Simulator struct {
+	Layout *surfacecode.Layout
+	Noise  noise.Params
+	// Basis is the memory basis, as in the scalar simulator.
+	Basis surfacecode.Kind
+
+	rng    *stats.RNG
+	x, z   []uint64 // [NumQubits] Pauli frame planes
+	leaked []uint64 // [NumQubits] leakage plane
+
+	round    int
+	syndrome []uint64 // [NumParity] outcome words
+	prev     []uint64
+	events   []uint64
+
+	finalData []uint64 // [NumData] transversal measurement outcome words
+	finalDet  []uint64 // [NumParity] final detector words
+
+	depol   sampler // p = Noise.P
+	leakInj sampler // p = Noise.PLeak
+	seep    sampler // p = Noise.PSeep
+}
+
+// New returns a batch simulator for the layout. Call Reset with a dedicated
+// RNG before running each batch.
+func New(l *surfacecode.Layout, n noise.Params, basis surfacecode.Kind) *Simulator {
+	return &Simulator{
+		Layout: l,
+		Noise:  n,
+		Basis:  basis,
+
+		x:      make([]uint64, l.NumQubits),
+		z:      make([]uint64, l.NumQubits),
+		leaked: make([]uint64, l.NumQubits),
+
+		syndrome:  make([]uint64, l.NumParity),
+		prev:      make([]uint64, l.NumParity),
+		events:    make([]uint64, l.NumParity),
+		finalData: make([]uint64, l.NumData),
+		finalDet:  make([]uint64, l.NumParity),
+	}
+}
+
+// Reset clears all frame state and rebinds the random source for a fresh
+// batch of shots. rng must be dedicated to this batch.
+func (s *Simulator) Reset(rng *stats.RNG) {
+	s.rng = rng
+	s.round = 0
+	for i := range s.x {
+		s.x[i], s.z[i], s.leaked[i] = 0, 0, 0
+	}
+	for i := range s.syndrome {
+		s.syndrome[i], s.prev[i], s.events[i] = 0, 0, 0
+	}
+	s.depol.reset(s.Noise.P, rng)
+	s.leakInj.reset(s.Noise.PLeak, rng)
+	s.seep.reset(s.Noise.PSeep, rng)
+}
+
+// Round returns the number of completed rounds.
+func (s *Simulator) Round() int { return s.round }
+
+// LeakedWord returns the leakage plane of qubit q: bit i set means lane i's
+// qubit q is leaked. The harness reads it for speculation-accuracy
+// accounting before each round.
+func (s *Simulator) LeakedWord(q int) uint64 { return s.leaked[q] }
+
+// LeakedCounts returns the number of (lane, qubit) pairs currently leaked
+// among the active lanes, split by qubit type. Summing over lanes is exactly
+// the quantity the experiment accumulators need for the LPR series.
+func (s *Simulator) LeakedCounts(active uint64) (data, parity int) {
+	for q := 0; q < s.Layout.NumData; q++ {
+		data += bits.OnesCount64(s.leaked[q] & active)
+	}
+	for q := s.Layout.NumData; q < s.Layout.NumQubits; q++ {
+		parity += bits.OnesCount64(s.leaked[q] & active)
+	}
+	return data, parity
+}
+
+// RunRound applies round-start noise and executes one syndrome extraction
+// round for all lanes at once. The returned slice holds one detection-event
+// word per stabilizer and aliases an internal buffer valid until the next
+// call.
+func (s *Simulator) RunRound(ops []circuit.Op) []uint64 {
+	s.round++
+	s.roundStartNoise()
+	for _, op := range ops {
+		switch op.Kind {
+		case circuit.OpH:
+			s.hadamard(op.Q0)
+		case circuit.OpCNOT:
+			s.cnot(op.Q0, op.Q1)
+		case circuit.OpMeasure:
+			w := s.measureZWord(op.Q0)
+			if op.Stab >= 0 {
+				s.syndrome[op.Stab] = w
+			}
+		case circuit.OpReset:
+			s.reset(op.Q0)
+		case circuit.OpSwapReturn:
+			s.cnot(op.Q0, op.Q1)
+			s.cnot(op.Q1, op.Q0)
+		case circuit.OpLeakISWAP:
+			s.leakISWAP(op.Q0, op.Q1)
+		default:
+			panic(fmt.Sprintf("batch: op kind %d needs per-shot feedback; use the scalar simulator", op.Kind))
+		}
+	}
+	for i := range s.Layout.Stabilizers {
+		st := &s.Layout.Stabilizers[i]
+		if s.round == 1 {
+			if st.Kind == s.Basis {
+				s.events[i] = s.syndrome[i]
+			} else {
+				s.events[i] = 0
+			}
+		} else {
+			s.events[i] = s.syndrome[i] ^ s.prev[i]
+		}
+	}
+	copy(s.prev, s.syndrome)
+	return s.events
+}
+
+// FinalMeasure performs the transversal data measurement in the memory
+// basis and returns one outcome-flip word per data qubit (aliasing an
+// internal buffer).
+func (s *Simulator) FinalMeasure(ops []circuit.Op) []uint64 {
+	for _, op := range ops {
+		if op.Kind != circuit.OpMeasure {
+			continue
+		}
+		if s.Basis == surfacecode.KindX {
+			s.finalData[op.Q0] = s.measureXWord(op.Q0)
+		} else {
+			s.finalData[op.Q0] = s.measureZWord(op.Q0)
+		}
+	}
+	return s.finalData
+}
+
+// FinalDetectors folds the transversal measurement into the last detector
+// layer for the stabilizers matching the memory basis, per lane. The result
+// aliases an internal buffer; entries for the other stabilizer kind are 0.
+func (s *Simulator) FinalDetectors(finalData []uint64) []uint64 {
+	out := s.finalDet
+	for i := range s.Layout.Stabilizers {
+		st := &s.Layout.Stabilizers[i]
+		if st.Kind != s.Basis {
+			out[i] = 0
+			continue
+		}
+		var par uint64
+		for _, q := range st.Data {
+			par ^= finalData[q]
+		}
+		out[i] = par ^ s.prev[i]
+	}
+	return out
+}
+
+// ObservableFlip returns the measured logical flip of every lane as one
+// word: the parity of the final data outcomes over the logical support.
+func (s *Simulator) ObservableFlip(finalData []uint64) uint64 {
+	var par uint64
+	for _, q := range s.Layout.LogicalSupport(s.Basis) {
+		par ^= finalData[q]
+	}
+	return par
+}
+
+// InjectX flips the X frame of qubit q on the given lanes (tests).
+func (s *Simulator) InjectX(q int, lanes uint64) { s.x[q] ^= lanes &^ s.leaked[q] }
+
+// InjectZ flips the Z frame of qubit q on the given lanes (tests).
+func (s *Simulator) InjectZ(q int, lanes uint64) { s.z[q] ^= lanes &^ s.leaked[q] }
+
+// InjectLeak forces qubit q into the leaked state on the given lanes.
+func (s *Simulator) InjectLeak(q int, lanes uint64) { s.leakMask(q, lanes) }
+
+// ------------------------------------------------------------ primitives --
+
+// leakMask leaks the given lanes of q, clearing their frames so the
+// invariant "leaked lanes carry no frame bits" holds everywhere.
+func (s *Simulator) leakMask(q int, m uint64) {
+	if m == 0 {
+		return
+	}
+	s.leaked[q] |= m
+	s.x[q] &^= m
+	s.z[q] &^= m
+}
+
+// unleakMask returns the given lanes of q to the computational basis in a
+// uniformly random state, mirroring the scalar simulator's unleak.
+func (s *Simulator) unleakMask(q int, m uint64) {
+	if m == 0 {
+		return
+	}
+	s.leaked[q] &^= m
+	s.x[q] = (s.x[q] &^ m) | (s.rng.Uint64() & m)
+	s.z[q] = (s.z[q] &^ m) | (s.rng.Uint64() & m)
+}
+
+// depolarize1Mask applies an independent uniform X/Y/Z to each set lane.
+// Callers pre-mask out leaked lanes; set lanes are rare, so the per-lane
+// loop costs nothing in the common all-zero case.
+func (s *Simulator) depolarize1Mask(q int, m uint64) {
+	for ; m != 0; m &= m - 1 {
+		bit := m & -m
+		switch s.rng.IntN(3) {
+		case 0:
+			s.x[q] ^= bit
+		case 1:
+			s.z[q] ^= bit
+		default:
+			s.x[q] ^= bit
+			s.z[q] ^= bit
+		}
+	}
+}
+
+// applyPauliLane applies I/X/Y/Z (p = 0..3) to one lane of q, skipping
+// leaked lanes like the scalar applyPauli.
+func (s *Simulator) applyPauliLane(q int, bit uint64, p int) {
+	if s.leaked[q]&bit != 0 {
+		return
+	}
+	switch p {
+	case 1:
+		s.x[q] ^= bit
+	case 2:
+		s.x[q] ^= bit
+		s.z[q] ^= bit
+	case 3:
+		s.z[q] ^= bit
+	}
+}
+
+// depolarize2Mask applies an independent uniform non-identity two-qubit
+// Pauli to each set lane of the pair (a, b).
+func (s *Simulator) depolarize2Mask(a, b int, m uint64) {
+	for ; m != 0; m &= m - 1 {
+		bit := m & -m
+		for {
+			pa, pb := s.rng.IntN(4), s.rng.IntN(4)
+			if pa == 0 && pb == 0 {
+				continue
+			}
+			s.applyPauliLane(a, bit, pa)
+			s.applyPauliLane(b, bit, pb)
+			break
+		}
+	}
+}
+
+// ----------------------------------------------------------------- gates --
+
+func (s *Simulator) hadamard(q int) {
+	lk := s.leaked[q]
+	x, z := s.x[q], s.z[q]
+	s.x[q] = (z &^ lk) | (x & lk)
+	s.z[q] = (x &^ lk) | (z & lk)
+	s.depolarize1Mask(q, s.depol.next()&^lk)
+}
+
+func (s *Simulator) cnot(c, t int) {
+	n := &s.Noise
+	lc, lt := s.leaked[c], s.leaked[t]
+	both := ^(lc | lt)
+	s.x[t] ^= s.x[c] & both
+	s.z[c] ^= s.z[t] & both
+	s.depolarize2Mask(c, t, s.depol.next()&both)
+	if n.LeakageEnabled {
+		s.leakMask(c, s.leakInj.next()&both)
+		s.leakMask(t, s.leakInj.next()&both)
+	}
+	// Lanes with exactly one leaked operand: random Pauli on the unleaked
+	// one, leakage transport with probability PTransport (Section 5.2.2).
+	for m := lc ^ lt; m != 0; m &= m - 1 {
+		bit := m & -m
+		u, l := t, c
+		if lt&bit != 0 {
+			u, l = c, t
+		}
+		s.applyPauliLane(u, bit, s.rng.IntN(4))
+		if s.rng.Bool(n.PTransport) {
+			s.leakMask(u, bit)
+			if n.Transport == noise.TransportExchange {
+				s.unleakMask(l, bit)
+			}
+		}
+	}
+}
+
+// leakISWAP mirrors the scalar simulator's DQLR LeakageISWAP semantics,
+// partitioned by lane into the three scalar cases.
+func (s *Simulator) leakISWAP(d, p int) {
+	n := &s.Noise
+	ld, lp := s.leaked[d], s.leaked[p]
+	caseD := ld        // leaked data: return to computational basis
+	caseP := lp &^ ld  // leaked parity only: leaked-CNOT-operand behavior
+	rest := ^(ld | lp) // neither leaked
+
+	if caseD != 0 {
+		s.unleakMask(d, caseD)
+		s.x[p] ^= caseD &^ lp // p receives the |1> excitation where unleaked
+	}
+	for m := caseP; m != 0; m &= m - 1 {
+		bit := m & -m
+		s.applyPauliLane(d, bit, s.rng.IntN(4))
+		if s.rng.Bool(n.PTransport) {
+			s.leakMask(d, bit)
+			if n.Transport == noise.TransportExchange {
+				s.unleakMask(p, bit)
+			}
+		}
+	}
+	// Leaked-parity lanes take no CX-grade tail noise (scalar early return).
+	tail := caseD | rest
+	if n.LeakageEnabled {
+		// Reset failure on p (x[p] set) excites d with probability 1/2.
+		if excite := rest & s.x[p]; excite != 0 {
+			half := s.rng.Uint64() & excite
+			if half != 0 {
+				s.leakMask(d, half)
+				s.x[p] &^= half
+				tail &^= half
+			}
+		}
+	}
+	s.depolarize2Mask(d, p, s.depol.next()&tail)
+	if n.LeakageEnabled {
+		s.leakMask(d, s.leakInj.next()&tail)
+		s.leakMask(p, s.leakInj.next()&tail)
+	}
+}
+
+// measureZWord returns the two-level Z-basis outcome word for qubit q:
+// the X frame on unleaked lanes, random bits on leaked lanes, with a
+// measurement flip at probability P on unleaked lanes.
+func (s *Simulator) measureZWord(q int) uint64 {
+	lk := s.leaked[q]
+	w := s.x[q] &^ lk
+	if lk != 0 {
+		w |= s.rng.Uint64() & lk
+	}
+	return w ^ (s.depol.next() &^ lk)
+}
+
+// measureXWord is measureZWord in the X basis: the Z frame decides the
+// deviation from the reference |+>/|-> outcome.
+func (s *Simulator) measureXWord(q int) uint64 {
+	lk := s.leaked[q]
+	w := s.z[q] &^ lk
+	if lk != 0 {
+		w |= s.rng.Uint64() & lk
+	}
+	return w ^ (s.depol.next() &^ lk)
+}
+
+func (s *Simulator) reset(q int) {
+	s.leaked[q] = 0
+	s.z[q] = 0
+	s.x[q] = s.depol.next() // initialization error: |1> instead of |0>
+}
+
+func (s *Simulator) roundStartNoise() {
+	n := &s.Noise
+	for q := 0; q < s.Layout.NumData; q++ {
+		if !n.LeakageEnabled {
+			s.depolarize1Mask(q, s.depol.next())
+			continue
+		}
+		lk := s.leaked[q]
+		if lk != 0 {
+			s.unleakMask(q, s.seep.next()&lk)
+		}
+		// Lanes leaked at round start (even if just seeped) take no further
+		// round-start noise, as in the scalar simulator.
+		lm := s.leakInj.next() &^ lk
+		s.leakMask(q, lm)
+		s.depolarize1Mask(q, s.depol.next()&^(lk|lm))
+	}
+}

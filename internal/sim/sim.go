@@ -75,6 +75,7 @@ type Simulator struct {
 	mlData   []MLClass
 
 	finalData []uint8 // transversal data measurement outcomes (flips)
+	finalDet  []uint8 // final detector layer buffer
 }
 
 // New returns a memory-Z simulator for one shot. rng must be dedicated to
@@ -101,6 +102,21 @@ func NewMemory(l *surfacecode.Layout, n noise.Params, rng *stats.RNG, basis surf
 		mlData:   make([]MLClass, l.NumParity),
 	}
 	return s
+}
+
+// Reset returns the simulator to the start-of-shot state, reusing every
+// internal buffer, and rebinds the random source. rng must be dedicated to
+// the new shot. Experiment workers run many shots through one Simulator via
+// Reset instead of allocating a fresh instance per shot.
+func (s *Simulator) Reset(rng *stats.RNG) {
+	s.rng = rng
+	s.round = 0
+	for i := range s.x {
+		s.x[i], s.z[i], s.leaked[i] = false, false, false
+	}
+	for i := range s.syndrome {
+		s.syndrome[i], s.prev[i], s.events[i] = 0, 0, 0
+	}
 }
 
 // Round returns the number of completed rounds.
@@ -220,9 +236,16 @@ func (s *Simulator) FinalZDetectors(finalData []uint8) []uint8 {
 // of detection events for the stabilizers matching the memory basis: the
 // parity of the measured data bits over each stabilizer's support, compared
 // with that stabilizer's last syndrome bit. The result is indexed by
-// stabilizer index (the other kind's entries stay 0).
+// stabilizer index (the other kind's entries stay 0) and aliases a reusable
+// internal buffer valid until the next call.
 func (s *Simulator) FinalDetectors(finalData []uint8) []uint8 {
-	out := make([]uint8, s.Layout.NumParity)
+	if s.finalDet == nil {
+		s.finalDet = make([]uint8, s.Layout.NumParity)
+	}
+	out := s.finalDet
+	for i := range out {
+		out[i] = 0
+	}
 	for i := range s.Layout.Stabilizers {
 		st := &s.Layout.Stabilizers[i]
 		if st.Kind != s.Basis {

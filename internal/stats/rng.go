@@ -40,6 +40,32 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// GeometricNever is returned by Geometric when p <= 0: the next success is
+// beyond any horizon a simulation can reach. It is small enough that adding
+// small offsets to it cannot overflow int on any platform.
+const GeometricNever = math.MaxInt >> 1
+
+// Geometric returns the number of failures before the next success in an
+// i.i.d. Bernoulli(p) trial stream. It is the skip-sampling primitive for
+// rare events: instead of drawing one Float64 per potential error site, a
+// simulator draws one Geometric gap and jumps directly to the next site that
+// errs. For p >= 1 it returns 0 (every trial succeeds); for p <= 0 it
+// returns GeometricNever.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return GeometricNever
+	}
+	u := 1 - r.src.Float64() // uniform in (0, 1]
+	g := math.Log(u) / math.Log1p(-p)
+	if g >= GeometricNever {
+		return GeometricNever
+	}
+	return int(g)
+}
+
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool {
 	if p <= 0 {
