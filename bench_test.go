@@ -395,17 +395,25 @@ func BenchmarkAblationMatcher(b *testing.B) {
 // ------------------------------------------------- batch fast path vs scalar
 
 // BenchmarkBatchVsScalar pits the word-parallel batch simulator against the
-// scalar per-shot simulator on a Figure-1c-style d=5 baseline sweep (NoLRC
-// and Always-LRCs, the two schedules that dominate the baseline curves).
+// scalar per-shot simulator on a d=5 sweep covering all five policies: the
+// static NoLRC/Always baselines on the shared-plan batch worker and the
+// adaptive ERASER/ERASER+M/Optimal policies on the lane-masked worker.
 // Workers is pinned to 1 so the ratio measures simulator throughput, not
-// scheduling. The batch path must be >= 5x faster (see DESIGN.md).
+// scheduling. The batch path must be >= 5x faster for static schedules and
+// >= 4x for adaptive ones (see DESIGN.md).
 func BenchmarkBatchVsScalar(b *testing.B) {
 	base := experiment.Config{Distance: 5, Cycles: 4, P: 1e-3, Shots: 256,
 		Seed: 7, Workers: 1}
 	for _, pol := range []struct {
 		name string
 		kind core.Kind
-	}{{"noLRC", core.PolicyNone}, {"always", core.PolicyAlways}} {
+	}{
+		{"noLRC", core.PolicyNone},
+		{"always", core.PolicyAlways},
+		{"eraser", core.PolicyEraser},
+		{"eraserM", core.PolicyEraserM},
+		{"optimal", core.PolicyOptimal},
+	} {
 		cfg := base
 		cfg.Policy = pol.kind
 		b.Run(pol.name+"/scalar", func(b *testing.B) {
@@ -437,6 +445,27 @@ func BenchmarkBatchRoundD7(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunRound(ops)
+	}
+}
+
+// BenchmarkBatchMaskedRoundD7 measures the adaptive engine's substrate: one
+// lane-masked round (plan merge + masked execution) with a realistic sparse
+// spread of per-lane LRCs — a few lanes scheduling one LRC each, as ERASER
+// produces at the paper's error rates.
+func BenchmarkBatchMaskedRoundD7(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	s := batch.New(l, noise.Standard(1e-3), surfacecode.KindZ)
+	s.Reset(stats.NewRNG(1, 1))
+	builder := circuit.NewBuilder(l)
+	plans := make([]circuit.Plan, batch.Lanes)
+	for i := 0; i < batch.Lanes; i += 9 {
+		q := (i * 7) % l.NumData
+		plans[i] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRoundMasked(builder.MaskedRound(plans, batch.AllLanes))
 	}
 }
 

@@ -47,6 +47,15 @@ type Op struct {
 	DataWire bool
 }
 
+// MaskedOp pairs an Op with the 64-bit lane mask of batch-simulator shots it
+// applies to: bit i set means shot lane i executes the operation. The batch
+// engine runs masked sequences produced by Builder.MaskedRound, which lets
+// adaptive policies with per-shot plans share one word-parallel round.
+type MaskedOp struct {
+	Op   Op
+	Mask uint64
+}
+
 // LRC pairs a data qubit with the stabilizer whose parity qubit it swaps
 // with (SWAP LRC) or performs the DQLR protocol with.
 type LRC struct {
@@ -91,6 +100,18 @@ type Builder struct {
 	ops    []Op
 	// lrcOf maps stabilizer index -> planned data qubit (or -1).
 	lrcOf []int
+
+	// Masked-round state: per stabilizer, the data qubits LRC'd with it this
+	// round and the lanes requesting each pairing.
+	mops     []MaskedOp
+	laneLRCs [][]laneLRC
+	laneMask []uint64 // union of LRC lane masks per stabilizer
+}
+
+// laneLRC is one merged (data qubit, lane set) LRC entry of a stabilizer.
+type laneLRC struct {
+	data int
+	mask uint64
 }
 
 // NewBuilder returns a Builder for the layout.
@@ -221,6 +242,163 @@ func (b *Builder) Round(plan Plan) []Op {
 	return b.ops
 }
 
+// MaskedRound merges up to 64 per-lane round plans into one masked operation
+// sequence for the batch simulator. plans[i] is lane i's plan; lanes whose
+// bit is clear in active are skipped. Every lane shares the identical
+// syndrome-extraction skeleton (opening Hadamards, the four CNOT steps,
+// closing Hadamards, measure + reset), emitted once under the full active
+// mask; only the LRC operations — forward SWAPs, data-wire measurements,
+// return transfers, DQLR epilogues — differ by lane and carry the mask of
+// the lanes that planned them. Protocol and CondReturn must agree across
+// active lanes (they are policy-level constants, not per-shot decisions).
+// The returned slice aliases an internal buffer valid until the next call.
+func (b *Builder) MaskedRound(plans []Plan, active uint64) []MaskedOp {
+	l := b.layout
+	b.mops = b.mops[:0]
+	if b.laneLRCs == nil {
+		b.laneLRCs = make([][]laneLRC, l.NumParity)
+		b.laneMask = make([]uint64, l.NumParity)
+	}
+	for i := range b.laneLRCs {
+		b.laneLRCs[i] = b.laneLRCs[i][:0]
+		b.laneMask[i] = 0
+	}
+
+	proto, condReturn := ProtocolSwap, false
+	for i := range plans {
+		if active&(1<<uint(i)) != 0 {
+			proto, condReturn = plans[i].Protocol, plans[i].CondReturn
+			break
+		}
+	}
+	for i := range plans {
+		bit := uint64(1) << uint(i)
+		if active&bit == 0 {
+			continue
+		}
+		for _, lrc := range plans[i].LRCs {
+			list := b.laneLRCs[lrc.Stab]
+			merged := false
+			for j := range list {
+				if list[j].data == lrc.Data {
+					list[j].mask |= bit
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				b.laneLRCs[lrc.Stab] = append(list, laneLRC{lrc.Data, bit})
+			}
+			b.laneMask[lrc.Stab] |= bit
+		}
+	}
+	useSwap := proto == ProtocolSwap
+
+	// Hadamards opening X-stabilizer extraction.
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		if s.Kind == surfacecode.KindX {
+			b.emitMasked(Op{Kind: OpH, Q0: s.Ancilla, Q1: -1, Stab: -1}, active)
+		}
+	}
+
+	// Four global CNOT steps, identical on every lane.
+	for step := 0; step < surfacecode.ExtractionSteps; step++ {
+		for i := range l.Stabilizers {
+			s := &l.Stabilizers[i]
+			d := s.Steps[step]
+			if d < 0 {
+				continue
+			}
+			if s.Kind == surfacecode.KindZ {
+				b.emitMasked(Op{Kind: OpCNOT, Q0: d, Q1: s.Ancilla, Stab: -1}, active)
+			} else {
+				b.emitMasked(Op{Kind: OpCNOT, Q0: s.Ancilla, Q1: d, Stab: -1}, active)
+			}
+		}
+	}
+
+	// Forward SWAPs, masked to the lanes that planned each pairing.
+	if useSwap {
+		for si := range b.laneLRCs {
+			p := l.Stabilizers[si].Ancilla
+			for _, e := range b.laneLRCs[si] {
+				b.emitMasked(Op{Kind: OpCNOT, Q0: p, Q1: e.data, Stab: -1}, e.mask)
+				b.emitMasked(Op{Kind: OpCNOT, Q0: e.data, Q1: p, Stab: -1}, e.mask)
+				b.emitMasked(Op{Kind: OpCNOT, Q0: p, Q1: e.data, Stab: -1}, e.mask)
+			}
+		}
+	}
+
+	// Closing Hadamards on whichever wire holds each X-stabilizer state.
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		if s.Kind != surfacecode.KindX {
+			continue
+		}
+		var swapped uint64
+		if useSwap {
+			swapped = b.laneMask[s.Index]
+		}
+		if rem := active &^ swapped; rem != 0 {
+			b.emitMasked(Op{Kind: OpH, Q0: s.Ancilla, Q1: -1, Stab: -1}, rem)
+		}
+		if useSwap {
+			for _, e := range b.laneLRCs[s.Index] {
+				b.emitMasked(Op{Kind: OpH, Q0: e.data, Q1: -1, Stab: -1}, e.mask)
+			}
+		}
+	}
+
+	// Measure + reset the wire carrying each stabilizer outcome. Lanes with
+	// an LRC read (and reset) the swapped data qubit and leave the parity
+	// qubit untouched, exactly as in the scalar Round.
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		var swapped uint64
+		if useSwap {
+			swapped = b.laneMask[s.Index]
+		}
+		if rem := active &^ swapped; rem != 0 {
+			b.emitMasked(Op{Kind: OpMeasure, Q0: s.Ancilla, Q1: -1, Stab: s.Index}, rem)
+			b.emitMasked(Op{Kind: OpReset, Q0: s.Ancilla, Q1: -1, Stab: -1}, rem)
+		}
+		if useSwap {
+			for _, e := range b.laneLRCs[s.Index] {
+				b.emitMasked(Op{Kind: OpMeasure, Q0: e.data, Q1: -1, Stab: s.Index, DataWire: true}, e.mask)
+				b.emitMasked(Op{Kind: OpReset, Q0: e.data, Q1: -1, Stab: -1}, e.mask)
+			}
+		}
+	}
+
+	// Return transfers for SWAP LRCs.
+	if useSwap {
+		kind := OpSwapReturn
+		if condReturn {
+			kind = OpCondReturn
+		}
+		for si := range b.laneLRCs {
+			p := l.Stabilizers[si].Ancilla
+			for _, e := range b.laneLRCs[si] {
+				b.emitMasked(Op{Kind: kind, Q0: p, Q1: e.data, Stab: si}, e.mask)
+			}
+		}
+	}
+
+	// DQLR epilogue per planned pairing.
+	if proto == ProtocolDQLR {
+		for si := range b.laneLRCs {
+			p := l.Stabilizers[si].Ancilla
+			for _, e := range b.laneLRCs[si] {
+				b.emitMasked(Op{Kind: OpLeakISWAP, Q0: e.data, Q1: p, Stab: si}, e.mask)
+				b.emitMasked(Op{Kind: OpReset, Q0: p, Q1: -1, Stab: -1}, e.mask)
+			}
+		}
+	}
+
+	return b.mops
+}
+
 // FinalMeasurement emits a transversal Z-basis measurement of every data
 // qubit, tagged with Stab = -1; the experiment harness folds the outcomes
 // into the final detector layer and the logical observable.
@@ -233,6 +411,10 @@ func (b *Builder) FinalMeasurement() []Op {
 }
 
 func (b *Builder) emit(op Op) { b.ops = append(b.ops, op) }
+
+func (b *Builder) emitMasked(op Op, mask uint64) {
+	b.mops = append(b.mops, MaskedOp{Op: op, Mask: mask})
+}
 
 // CountTwoQubitOps returns the number of two-qubit operations in ops,
 // counting OpSwapReturn/OpCondReturn as two CNOTs and OpLeakISWAP as one.

@@ -252,3 +252,140 @@ func TestProtocolString(t *testing.T) {
 		t.Fatal("protocol names wrong")
 	}
 }
+
+// projectLane filters a masked op sequence down to the ops lane executes.
+func projectLane(mops []MaskedOp, lane int) []Op {
+	var out []Op
+	for _, m := range mops {
+		if m.Mask&(1<<uint(lane)) != 0 {
+			out = append(out, m.Op)
+		}
+	}
+	return out
+}
+
+// sortLRCsByStab orders a plan's LRC list by stabilizer index, the order the
+// masked emitter uses, so per-lane projections compare op-for-op with the
+// scalar Round.
+func sortLRCsByStab(lrcs []LRC) []LRC {
+	out := append([]LRC(nil), lrcs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Stab < out[j-1].Stab; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestMaskedRoundProjectsToScalarRounds is the core contract of the lane-
+// masked builder: restricting the merged masked sequence to any single lane
+// must reproduce exactly the op sequence the scalar builder emits for that
+// lane's plan.
+func TestMaskedRoundProjectsToScalarRounds(t *testing.T) {
+	l := surfacecode.MustNew(5)
+	b := NewBuilder(l)
+	scalar := NewBuilder(l)
+
+	for _, variant := range []struct {
+		name       string
+		proto      Protocol
+		condReturn bool
+	}{
+		{"swap", ProtocolSwap, false},
+		{"condreturn", ProtocolSwap, true},
+		{"dqlr", ProtocolDQLR, false},
+	} {
+		plans := make([]Plan, 64)
+		for i := range plans {
+			plans[i] = Plan{Protocol: variant.proto, CondReturn: variant.condReturn}
+		}
+		// Lane 0: plain round. Lane 1: one LRC. Lane 2: two LRCs. Lane 5:
+		// same single LRC as lane 1 (exercising mask merging). Lane 3 is
+		// inactive and carries a plan that must be ignored.
+		plans[1].LRCs = []LRC{{Data: 4, Stab: l.SwapPrimary[4]}}
+		plans[2].LRCs = sortLRCsByStab([]LRC{
+			{Data: 0, Stab: l.SwapPrimary[0]}, {Data: 12, Stab: l.SwapPrimary[12]}})
+		plans[5].LRCs = plans[1].LRCs
+		plans[3].LRCs = []LRC{{Data: 7, Stab: l.SwapPrimary[7]}}
+		active := uint64(1)<<0 | 1<<1 | 1<<2 | 1<<5
+
+		mops := b.MaskedRound(plans, active)
+		for _, lane := range []int{0, 1, 2, 5} {
+			want := scalar.Round(plans[lane])
+			got := projectLane(mops, lane)
+			if len(got) != len(want) {
+				t.Fatalf("%s lane %d: %d ops, want %d", variant.name, lane, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s lane %d op %d: %+v, want %+v", variant.name, lane, i, got[i], want[i])
+				}
+			}
+		}
+		// The inactive lane's plan must leave no trace: no op may touch only
+		// lane 3, and lane 3's projection equals a plain round's skeleton.
+		for _, m := range mops {
+			if m.Mask&^active != 0 {
+				t.Fatalf("%s: op %+v masked to inactive lanes %#x", variant.name, m.Op, m.Mask&^active)
+			}
+		}
+	}
+}
+
+// TestMaskedRoundSharedSkeleton: the syndrome-extraction skeleton (opening
+// Hadamards and extraction CNOTs) is emitted once under the full active
+// mask, never duplicated per lane.
+func TestMaskedRoundSharedSkeleton(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	b := NewBuilder(l)
+	plans := make([]Plan, 64)
+	plans[0].LRCs = []LRC{{Data: 0, Stab: l.SwapPrimary[0]}}
+	plans[1].LRCs = []LRC{{Data: 8, Stab: l.SwapPrimary[8]}}
+	active := uint64(0b11)
+	mops := b.MaskedRound(plans, active)
+
+	wantCNOTs := 0
+	for _, s := range l.Stabilizers {
+		wantCNOTs += s.Weight()
+	}
+	fullMaskCNOTs := 0
+	for _, m := range mops {
+		if m.Op.Kind == OpCNOT && m.Mask == active {
+			fullMaskCNOTs++
+		}
+	}
+	if fullMaskCNOTs != wantCNOTs {
+		t.Fatalf("%d full-mask extraction CNOTs, want %d", fullMaskCNOTs, wantCNOTs)
+	}
+	// Each lane's forward SWAP + return adds 5 lane-masked CNOT-equivalents;
+	// they must carry exactly one lane bit here.
+	for _, m := range mops {
+		if m.Mask != active && m.Mask&(m.Mask-1) != 0 {
+			t.Fatalf("LRC op %+v carries multi-lane mask %#x, want single lane", m.Op, m.Mask)
+		}
+	}
+}
+
+// TestMaskedRoundStaticPlanMatchesRound: when every lane shares one static
+// plan, the masked sequence is the scalar sequence under the full mask.
+func TestMaskedRoundStaticPlanMatchesRound(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	b := NewBuilder(l)
+	scalar := NewBuilder(l)
+	plan := Plan{LRCs: []LRC{{Data: 2, Stab: l.SwapPrimary[2]}}}
+	plans := make([]Plan, 64)
+	for i := range plans {
+		plans[i] = plan
+	}
+	active := ^uint64(0)
+	mops := b.MaskedRound(plans, active)
+	want := scalar.Round(plan)
+	if len(mops) != len(want) {
+		t.Fatalf("%d masked ops, want %d", len(mops), len(want))
+	}
+	for i := range want {
+		if mops[i].Op != want[i] || mops[i].Mask != active {
+			t.Fatalf("op %d: %+v mask %#x, want %+v under full mask", i, mops[i].Op, mops[i].Mask, want[i])
+		}
+	}
+}

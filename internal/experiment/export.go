@@ -49,6 +49,10 @@ func (r *RoundSeries) WriteCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
+	if len(r.LPR) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
 	for i := range r.LPR[0] {
 		row := []string{strconv.Itoa(i + 1)}
 		for s := range r.Names {

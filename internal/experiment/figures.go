@@ -166,10 +166,14 @@ type RoundSeries struct {
 	Data, Parity []float64
 }
 
-// String renders every tenth round (and the last).
+// String renders every tenth round and always the last one.
 func (r *RoundSeries) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (d=%d)\n", r.Title, r.Distance)
+	if len(r.LPR) == 0 || len(r.LPR[0]) == 0 {
+		b.WriteString("(no rounds)\n")
+		return b.String()
+	}
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
 	fmt.Fprint(w, "round")
 	for _, n := range r.Names {
@@ -184,7 +188,7 @@ func (r *RoundSeries) String() string {
 	if step == 0 {
 		step = 1
 	}
-	for i := 0; i < rounds; i += step {
+	row := func(i int) {
 		fmt.Fprintf(w, "%d", i+1)
 		for s := range r.Names {
 			fmt.Fprintf(w, "\t%.1f", r.LPR[s][i]*1e4)
@@ -193,6 +197,14 @@ func (r *RoundSeries) String() string {
 			fmt.Fprintf(w, "\t%.1f\t%.1f", r.Data[i]*1e4, r.Parity[i]*1e4)
 		}
 		fmt.Fprintln(w)
+	}
+	for i := 0; i < rounds; i += step {
+		row(i)
+	}
+	// The stride only lands on the final round when step divides it; emit it
+	// explicitly otherwise so the series' endpoint is always visible.
+	if (rounds-1)%step != 0 {
+		row(rounds - 1)
 	}
 	w.Flush()
 	b.WriteString("(LPR in units of 1e-4)\n")
@@ -405,11 +417,30 @@ func (a *AccuracyReport) String() string {
 // accuracy, FPR/FNR and average LRCs per round for all four policies.
 func Figure16Table4(o Options) *AccuracyReport {
 	o = o.filled(11)
+	// The FPR/FNR decomposition is taken at o.Distance — but only distances
+	// in o.Distances are actually swept. If the requested distance is not
+	// among them, fall back to the largest swept distance (the paper reports
+	// the bottom panel at its largest d) instead of silently leaving the
+	// rates at zero; FNRDistance records which distance was used.
+	fnrDistance := o.Distance
+	swept := false
+	largest := 0
+	for _, d := range o.Distances {
+		if d == fnrDistance {
+			swept = true
+		}
+		if d > largest {
+			largest = d
+		}
+	}
+	if !swept {
+		fnrDistance = largest
+	}
 	kinds := []core.Kind{core.PolicyAlways, core.PolicyEraser, core.PolicyEraserM, core.PolicyOptimal}
 	rep := &AccuracyReport{
 		Distances:   o.Distances,
 		Names:       []string{"Always-LRCs", "ERASER", "ERASER+M", "Optimal"},
-		FNRDistance: o.Distance,
+		FNRDistance: fnrDistance,
 	}
 	for _, k := range kinds {
 		var acc, lrcs []float64
@@ -418,7 +449,7 @@ func Figure16Table4(o Options) *AccuracyReport {
 			res := Run(o.config(d, o.Cycles, k))
 			acc = append(acc, 100*res.Accuracy())
 			lrcs = append(lrcs, res.LRCsPerRound)
-			if d == o.Distance {
+			if d == fnrDistance {
 				fpr, fnr = 100*res.FPR(), 100*res.FNR()
 			}
 		}

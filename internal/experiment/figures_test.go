@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -122,6 +123,68 @@ func TestFigure16Table4(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestFigure16Table4FNRDistanceFallback: when the requested FPR/FNR distance
+// is not among the swept distances, the report falls back to the largest
+// swept distance instead of silently reporting zeros, and records it.
+func TestFigure16Table4FNRDistanceFallback(t *testing.T) {
+	o := tinyOpts()
+	o.Shots = 60
+	o.Distances = []int{3, 5}
+	o.Cycles = 3
+	// Leave o.Distance unset: filled(11) requests d=11, which is not swept.
+	rep := Figure16Table4(o)
+	if rep.FNRDistance != 5 {
+		t.Fatalf("FNRDistance = %d, want fallback to largest swept distance 5", rep.FNRDistance)
+	}
+	// The Always policy decides "LRC" for roughly half the (qubit, round)
+	// pairs, so its FPR at the fallback distance cannot be zero — the value
+	// the silent-miss bug used to report.
+	if rep.FPR[0] == 0 {
+		t.Fatal("Always FPR = 0 at fallback distance; rates were not recomputed")
+	}
+	if !strings.Contains(rep.String(), "d=5") {
+		t.Fatalf("render does not name the fallback distance:\n%s", rep.String())
+	}
+
+	// A swept distance is honored unchanged.
+	o.Distance = 3
+	if rep := Figure16Table4(o); rep.FNRDistance != 3 {
+		t.Fatalf("FNRDistance = %d, want requested swept distance 3", rep.FNRDistance)
+	}
+}
+
+// TestRoundSeriesStringEdges: the renderer always emits the final round even
+// when the tenth-round stride misses it, and survives empty series instead
+// of panicking.
+func TestRoundSeriesStringEdges(t *testing.T) {
+	// 25 rounds: step = 2, so rows land on odd rounds 1,3,...,25 — but with
+	// 26 rounds (step 2, rows 1,3,...,25) round 26 is only reachable via the
+	// explicit last-round row.
+	mk := func(rounds int) *RoundSeries {
+		lpr := make([]float64, rounds)
+		for i := range lpr {
+			lpr[i] = float64(i+1) * 1e-4
+		}
+		return &RoundSeries{Title: "t", Distance: 3, Names: []string{"s"},
+			LPR: [][]float64{lpr}}
+	}
+	for _, rounds := range []int{5, 10, 26, 30} {
+		out := mk(rounds).String()
+		if want := "\n" + strconv.Itoa(rounds) + "  "; !strings.Contains(out, want) {
+			t.Errorf("%d rounds: render misses the last round:\n%s", rounds, out)
+		}
+	}
+	empty := &RoundSeries{Title: "t", Distance: 3, Names: []string{"s"}, LPR: [][]float64{}}
+	if out := empty.String(); !strings.Contains(out, "no rounds") {
+		t.Fatalf("empty series render: %q", out)
+	}
+	emptyInner := &RoundSeries{Title: "t", Distance: 3, Names: []string{"s"},
+		LPR: [][]float64{{}}}
+	if out := emptyInner.String(); !strings.Contains(out, "no rounds") {
+		t.Fatalf("empty inner series render: %q", out)
 	}
 }
 

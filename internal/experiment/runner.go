@@ -9,6 +9,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -60,16 +61,21 @@ type Config struct {
 }
 
 // batchEligible reports whether the experiment can run on the word-parallel
-// batch simulator: the policy's round plans must depend only on the round
-// number (never on per-shot observations), so one op sequence can serve all
-// 64 lanes of a batch. That holds for the static NoLRC and Always-LRC
-// baselines (SWAP or DQLR protocol); the adaptive ERASER/ERASER+M policies
-// and the per-shot Optimal oracle stay on the scalar simulator.
+// batch simulator. Since the lane-masked op engine, every policy qualifies:
+// static NoLRC/Always schedules share one unmasked op sequence across all 64
+// lanes, and the adaptive ERASER/ERASER+M/Optimal policies run one instance
+// per lane whose plans are merged into one masked op sequence per round
+// (circuit.Builder.MaskedRound). Only ForceScalar (the benchmark and
+// engine-agreement opt-out) and Tune (which mutates a single scalar policy
+// instance) keep an experiment on the scalar simulator.
 func batchEligible(cfg Config) bool {
-	if cfg.ForceScalar || cfg.Tune != nil {
-		return false
-	}
-	return cfg.Policy == core.PolicyNone || cfg.Policy == core.PolicyAlways
+	return !cfg.ForceScalar && cfg.Tune == nil
+}
+
+// staticPlans reports whether the policy's round plans depend only on the
+// round number, so one unmasked op sequence serves every lane of a batch.
+func staticPlans(k core.Kind) bool {
+	return k == core.PolicyNone || k == core.PolicyAlways
 }
 
 func (c Config) rounds() int {
@@ -200,9 +206,12 @@ func Run(cfg Config) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if useBatch {
+			switch {
+			case useBatch && staticPlans(cfg.Policy):
 				runBatchWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
-			} else {
+			case useBatch:
+				runBatchLaneWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+			default:
 				runWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
 			}
 		}(w)
@@ -321,6 +330,45 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	}
 }
 
+// kindStab pairs a stabilizer index with its dense decoder ordinal for the
+// memory basis; the batch workers precompute the list once per worker.
+type kindStab struct{ idx, ord int }
+
+func kindStabs(layout *surfacecode.Layout, basis surfacecode.Kind) []kindStab {
+	var ks []kindStab
+	for i := range layout.Stabilizers {
+		if layout.Stabilizers[i].Kind == basis {
+			ks = append(ks, kindStab{i, layout.KindOrdinal(basis, i)})
+		}
+	}
+	return ks
+}
+
+// finishBatch runs the transversal final measurement of one batch, folds it
+// into the last detector layer, decodes every active lane and returns the
+// number of logical errors.
+func finishBatch(bs *batch.Simulator, builder *circuit.Builder, dec decoder.Engine,
+	col *decoder.BatchCollector, kstabs []kindStab, lanes, rounds int) int {
+
+	active := batch.LaneMask(lanes)
+	final := bs.FinalMeasure(builder.FinalMeasurement())
+	fdet := bs.FinalDetectors(final)
+	for _, ks := range kstabs {
+		if word := fdet[ks.idx] & active; word != 0 {
+			col.Add(word, ks.ord, rounds+1)
+		}
+	}
+	obs := bs.ObservableFlip(final)
+	errs := 0
+	for lane := 0; lane < lanes; lane++ {
+		predicted := dec.Decode(col.Lane(lane))
+		if predicted != uint8((obs>>uint(lane))&1) {
+			errs++
+		}
+	}
+	return errs
+}
+
 // runBatchWorker is runWorker's word-parallel counterpart: each work unit is
 // a batch of up to 64 shots running through the bit-packed simulator, with
 // detection events fanned out to per-lane lists for decoding. Static
@@ -333,15 +381,7 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
 	bs := batch.New(layout, np, cfg.Basis)
 	col := decoder.NewBatchCollector()
-
-	// Basis-kind stabilizers with their dense decoder ordinals, once.
-	type kindStab struct{ idx, ord int }
-	var kstabs []kindStab
-	for i := range layout.Stabilizers {
-		if layout.Stabilizers[i].Kind == cfg.Basis {
-			kstabs = append(kstabs, kindStab{i, layout.KindOrdinal(cfg.Basis, i)})
-		}
-	}
+	kstabs := kindStabs(layout, cfg.Basis)
 
 	for b := w; b < len(batchSeeds); b += stride {
 		lanes := batch.Lanes
@@ -380,25 +420,84 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 			acc.lprParity[r-1] += float64(pleak)
 		}
 
-		final := bs.FinalMeasure(builder.FinalMeasurement())
-		fdet := bs.FinalDetectors(final)
-		for _, ks := range kstabs {
-			if word := fdet[ks.idx] & active; word != 0 {
-				col.Add(word, ks.ord, rounds+1)
-			}
+		acc.logicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
+	}
+}
+
+// runBatchLaneWorker is the adaptive policies' word-parallel counterpart of
+// runBatchWorker: each work unit is a batch of up to 64 shots whose lanes
+// each carry an independent instance of the policy (core.LanePolicies). Per
+// round the 64 plans are merged into one lane-masked op sequence — every
+// lane shares the syndrome-extraction skeleton, only the LRC ops differ by
+// lane — and the engine's event, readout and ground-truth words are fanned
+// back out to the per-lane instances.
+func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+	rounds int, np noise.Params, batchSeeds []uint64, w, stride int, acc *shotAccum) {
+
+	builder := circuit.NewBuilder(layout)
+	lp := core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol)
+	bs := batch.New(layout, np, cfg.Basis)
+	bs.TrackML = cfg.Policy == core.PolicyEraserM
+	col := decoder.NewBatchCollector()
+	kstabs := kindStabs(layout, cfg.Basis)
+
+	for b := w; b < len(batchSeeds); b += stride {
+		lanes := batch.Lanes
+		if rem := cfg.Shots - b*batch.Lanes; rem < lanes {
+			lanes = rem
 		}
-		obs := bs.ObservableFlip(final)
-		for lane := 0; lane < lanes; lane++ {
-			predicted := dec.Decode(col.Lane(lane))
-			if predicted != uint8((obs>>uint(lane))&1) {
-				acc.logicalErrors++
+		active := batch.LaneMask(lanes)
+		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
+		lp.Reset()
+		col.Reset()
+
+		for r := 1; r <= rounds; r++ {
+			plans := lp.PlanRound(r, active)
+			acc.lrcs += lp.LRCTotal()
+			// Decision accounting against the leakage state at the end of
+			// the previous round, as in the scalar path.
+			for q := 0; q < layout.NumData; q++ {
+				planned := lp.PlannedWord(q)
+				leaked := bs.LeakedWord(q) & active
+				tp := int64(bits.OnesCount64(planned & leaked))
+				fp := int64(bits.OnesCount64(planned &^ leaked))
+				fn := int64(bits.OnesCount64(leaked &^ planned))
+				acc.tp += tp
+				acc.fp += fp
+				acc.fn += fn
+				acc.tn += int64(lanes) - tp - fp - fn
 			}
+
+			events := bs.RunRoundMasked(builder.MaskedRound(plans, active))
+			for _, ks := range kstabs {
+				if word := events[ks.idx] & active; word != 0 {
+					col.Add(word, ks.ord, r)
+				}
+			}
+			dleak, pleak := bs.LeakedCounts(active)
+			acc.lprData[r-1] += float64(dleak)
+			acc.lprParity[r-1] += float64(pleak)
+
+			lp.Observe(core.LaneRoundInfo{
+				Round:          r,
+				Active:         active,
+				Events:         events,
+				MLParityLeak:   bs.MLParityLeak(),
+				MLParityVal:    bs.MLParityVal(),
+				TrueLeakedData: bs.LeakedDataWords(),
+			})
 		}
+
+		acc.logicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
 	}
 }
 
 // configStream hashes the experiment identity into a deterministic RNG
-// stream so that different configs sharing a seed stay independent.
+// stream so that different configs sharing a seed stay independent. Every
+// noise field participates via its exact math.Float64bits image — a lossy
+// projection (or a skipped field) would hand two distinct configs the same
+// byte-identical random stream under a shared seed, silently correlating
+// their Monte-Carlo estimates.
 func configStream(cfg Config) uint64 {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
@@ -414,8 +513,11 @@ func configStream(cfg Config) uint64 {
 	np := cfg.noiseParams()
 	mix(uint64(np.Transport))
 	mix(boolBit(np.LeakageEnabled))
-	mix(f2b(np.P))
-	mix(f2b(np.PLeak))
+	mix(math.Float64bits(np.P))
+	mix(math.Float64bits(np.PLeak))
+	mix(math.Float64bits(np.PSeep))
+	mix(math.Float64bits(np.PTransport))
+	mix(math.Float64bits(np.PMultiLevelError))
 	return h
 }
 
@@ -424,10 +526,4 @@ func boolBit(b bool) uint64 {
 		return 1
 	}
 	return 0
-}
-
-func f2b(f float64) uint64 {
-	// Scale to avoid importing math just for Float64bits determinism; the
-	// probabilities are tiny, so scale preserves identity.
-	return uint64(f * 1e12)
 }

@@ -44,6 +44,34 @@ func sameSeries(a, b []float64) bool {
 	return true
 }
 
+// TestConfigStreamSeparatesNoiseFields: configs differing in any single
+// noise field must get distinct RNG streams under a shared seed. Before the
+// Float64bits fix, PSeep/PTransport/PMultiLevelError were skipped entirely
+// and P/PLeak went through a lossy uint64(f*1e12) truncation, handing such
+// configs byte-identical random streams.
+func TestConfigStreamSeparatesNoiseFields(t *testing.T) {
+	base := Config{Distance: 3, Cycles: 3, P: 1e-3, Shots: 1, Seed: 7,
+		Policy: core.PolicyNone}
+	streams := map[uint64]string{configStream(base): "base"}
+	record := func(name string, mutate func(*noise.Params)) {
+		np := noise.Standard(base.P)
+		mutate(&np)
+		cfg := base
+		cfg.Noise = &np
+		h := configStream(cfg)
+		if prev, dup := streams[h]; dup {
+			t.Errorf("%s collides with %s: identical RNG stream %#x", name, prev, h)
+		}
+		streams[h] = name
+	}
+	record("pseep", func(n *noise.Params) { n.PSeep *= 2 })
+	record("ptransport", func(n *noise.Params) { n.PTransport = 0.2 })
+	record("pml", func(n *noise.Params) { n.PMultiLevelError *= 2 })
+	record("pleak", func(n *noise.Params) { n.PLeak *= 2 })
+	// Sub-picoscale differences were erased by the old 1e12 truncation.
+	record("tiny-p", func(n *noise.Params) { n.P = 1e-3 + 1e-15 })
+}
+
 func TestParallelWorkersMatchSerialCounts(t *testing.T) {
 	cfg := Config{Distance: 3, Cycles: 3, P: 1e-3, Shots: 120, Seed: 9,
 		Policy: core.PolicyAlways, Workers: 1}

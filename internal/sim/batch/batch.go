@@ -18,13 +18,16 @@
 // semantics identical to the scalar simulator's Section 5.2.2 model while
 // staying cheap because leakage populations are ~1e-3.
 //
-// The simulator supports every operation the circuit builder emits except
-// OpCondReturn: the conditional swap-back needs per-shot multi-level readout
-// feedback, which only the adaptive ERASER+M policy uses — and adaptive
-// policies plan different rounds per shot, so they cannot share one op
-// sequence across lanes and run through the scalar simulator instead. The
-// multi-level classifications themselves are not modeled here for the same
-// reason: no batch-eligible policy reads them.
+// Every operation the circuit builder emits is supported, on two entry
+// points. RunRound executes an unmasked sequence where each op applies to
+// all lanes — the fast path for static schedules, whose plans are identical
+// across shots. RunRoundMasked executes a circuit.MaskedOp sequence from
+// circuit.Builder.MaskedRound, applying each op (frame action and noise
+// alike) only on the lanes of its mask; adaptive policies with per-shot
+// plans run word-parallel this way. OpCondReturn — the ERASER+M conditional
+// swap-back, which reads the multi-level classification of the LRC data
+// measurement — requires TrackML, which maintains the classifications as
+// two bit-planes per stabilizer ("is-leak" and "value").
 package batch
 
 import (
@@ -98,6 +101,11 @@ type Simulator struct {
 	Noise  noise.Params
 	// Basis is the memory basis, as in the scalar simulator.
 	Basis surfacecode.Kind
+	// TrackML maintains the multi-level readout bit-planes (MLParityLeak /
+	// MLParityVal and the data-wire planes consumed by OpCondReturn). Set it
+	// before Reset; only ERASER+M reads the classifications, so the default
+	// skips the extra sampling work.
+	TrackML bool
 
 	rng    *stats.RNG
 	x, z   []uint64 // [NumQubits] Pauli frame planes
@@ -108,12 +116,21 @@ type Simulator struct {
 	prev     []uint64
 	events   []uint64
 
+	// Multi-level readout planes, per stabilizer: is-leak and value bits of
+	// the classification of the measured wire (mlPar*) and, in LRC rounds, of
+	// the measured data qubit (mlData*). Maintained only under TrackML.
+	mlParLeak  []uint64
+	mlParVal   []uint64
+	mlDataLeak []uint64
+	mlDataVal  []uint64
+
 	finalData []uint64 // [NumData] transversal measurement outcome words
 	finalDet  []uint64 // [NumParity] final detector words
 
 	depol   sampler // p = Noise.P
 	leakInj sampler // p = Noise.PLeak
 	seep    sampler // p = Noise.PSeep
+	mlErr   sampler // p = Noise.PMultiLevelError (TrackML only)
 }
 
 // New returns a batch simulator for the layout. Call Reset with a dedicated
@@ -128,11 +145,15 @@ func New(l *surfacecode.Layout, n noise.Params, basis surfacecode.Kind) *Simulat
 		z:      make([]uint64, l.NumQubits),
 		leaked: make([]uint64, l.NumQubits),
 
-		syndrome:  make([]uint64, l.NumParity),
-		prev:      make([]uint64, l.NumParity),
-		events:    make([]uint64, l.NumParity),
-		finalData: make([]uint64, l.NumData),
-		finalDet:  make([]uint64, l.NumParity),
+		syndrome:   make([]uint64, l.NumParity),
+		prev:       make([]uint64, l.NumParity),
+		events:     make([]uint64, l.NumParity),
+		mlParLeak:  make([]uint64, l.NumParity),
+		mlParVal:   make([]uint64, l.NumParity),
+		mlDataLeak: make([]uint64, l.NumParity),
+		mlDataVal:  make([]uint64, l.NumParity),
+		finalData:  make([]uint64, l.NumData),
+		finalDet:   make([]uint64, l.NumParity),
 	}
 }
 
@@ -146,10 +167,17 @@ func (s *Simulator) Reset(rng *stats.RNG) {
 	}
 	for i := range s.syndrome {
 		s.syndrome[i], s.prev[i], s.events[i] = 0, 0, 0
+		s.mlParLeak[i], s.mlParVal[i] = 0, 0
+		s.mlDataLeak[i], s.mlDataVal[i] = 0, 0
 	}
 	s.depol.reset(s.Noise.P, rng)
 	s.leakInj.reset(s.Noise.PLeak, rng)
 	s.seep.reset(s.Noise.PSeep, rng)
+	pml := 0.0
+	if s.TrackML {
+		pml = s.Noise.PMultiLevelError
+	}
+	s.mlErr.reset(pml, rng)
 }
 
 // Round returns the number of completed rounds.
@@ -159,6 +187,24 @@ func (s *Simulator) Round() int { return s.round }
 // qubit q is leaked. The harness reads it for speculation-accuracy
 // accounting before each round.
 func (s *Simulator) LeakedWord(q int) uint64 { return s.leaked[q] }
+
+// LeakedDataWords returns the leakage planes of all data qubits, aliasing
+// internal state. The lane-planner feeds them to the Optimal oracle policy.
+func (s *Simulator) LeakedDataWords() []uint64 { return s.leaked[:s.Layout.NumData] }
+
+// MLParityLeak returns the is-leak plane of the latest round's per-stabilizer
+// multi-level classifications (aliased; zero unless TrackML is set).
+func (s *Simulator) MLParityLeak() []uint64 { return s.mlParLeak }
+
+// MLParityVal returns the value plane of the latest round's per-stabilizer
+// multi-level classifications (aliased; meaningful only where the is-leak
+// plane is clear).
+func (s *Simulator) MLParityVal() []uint64 { return s.mlParVal }
+
+// MLDataLeak returns the is-leak plane of the latest round's LRC data-wire
+// classifications (aliased; bits are meaningful only on lanes whose plan
+// included an LRC on the stabilizer).
+func (s *Simulator) MLDataLeak() []uint64 { return s.mlDataLeak }
 
 // LeakedCounts returns the number of (lane, qubit) pairs currently leaked
 // among the active lanes, split by qubit type. Summing over lanes is exactly
@@ -174,34 +220,40 @@ func (s *Simulator) LeakedCounts(active uint64) (data, parity int) {
 }
 
 // RunRound applies round-start noise and executes one syndrome extraction
-// round for all lanes at once. The returned slice holds one detection-event
-// word per stabilizer and aliases an internal buffer valid until the next
-// call.
+// round for all lanes at once; every op applies to every lane (static
+// schedules). The returned slice holds one detection-event word per
+// stabilizer and aliases an internal buffer valid until the next call.
 func (s *Simulator) RunRound(ops []circuit.Op) []uint64 {
-	s.round++
-	s.roundStartNoise()
+	s.beginRound()
 	for _, op := range ops {
-		switch op.Kind {
-		case circuit.OpH:
-			s.hadamard(op.Q0)
-		case circuit.OpCNOT:
-			s.cnot(op.Q0, op.Q1)
-		case circuit.OpMeasure:
-			w := s.measureZWord(op.Q0)
-			if op.Stab >= 0 {
-				s.syndrome[op.Stab] = w
-			}
-		case circuit.OpReset:
-			s.reset(op.Q0)
-		case circuit.OpSwapReturn:
-			s.cnot(op.Q0, op.Q1)
-			s.cnot(op.Q1, op.Q0)
-		case circuit.OpLeakISWAP:
-			s.leakISWAP(op.Q0, op.Q1)
-		default:
-			panic(fmt.Sprintf("batch: op kind %d needs per-shot feedback; use the scalar simulator", op.Kind))
+		s.applyMasked(op, AllLanes)
+	}
+	return s.finishRound()
+}
+
+// RunRoundMasked is RunRound for a lane-masked op sequence produced by
+// circuit.Builder.MaskedRound: each op's frame action and noise apply only
+// on the lanes of its mask, so lanes with different LRC plans advance
+// through one shared word-parallel round.
+func (s *Simulator) RunRoundMasked(ops []circuit.MaskedOp) []uint64 {
+	s.beginRound()
+	for _, op := range ops {
+		s.applyMasked(op.Op, op.Mask)
+	}
+	return s.finishRound()
+}
+
+func (s *Simulator) beginRound() {
+	s.round++
+	if s.TrackML {
+		for i := range s.mlDataLeak {
+			s.mlDataLeak[i], s.mlDataVal[i] = 0, 0
 		}
 	}
+	s.roundStartNoise()
+}
+
+func (s *Simulator) finishRound() []uint64 {
 	for i := range s.Layout.Stabilizers {
 		st := &s.Layout.Stabilizers[i]
 		if s.round == 1 {
@@ -218,6 +270,63 @@ func (s *Simulator) RunRound(ops []circuit.Op) []uint64 {
 	return s.events
 }
 
+func (s *Simulator) applyMasked(op circuit.Op, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	switch op.Kind {
+	case circuit.OpH:
+		s.hadamard(op.Q0, mask)
+	case circuit.OpCNOT:
+		s.cnot(op.Q0, op.Q1, mask)
+	case circuit.OpMeasure:
+		w := s.measureZWord(op.Q0, mask)
+		if op.Stab >= 0 {
+			s.syndrome[op.Stab] = (s.syndrome[op.Stab] &^ mask) | w
+			if s.TrackML {
+				leak, val := s.classifyML(op.Q0, w, mask)
+				s.mlParLeak[op.Stab] = (s.mlParLeak[op.Stab] &^ mask) | leak
+				s.mlParVal[op.Stab] = (s.mlParVal[op.Stab] &^ mask) | val
+				if op.DataWire {
+					s.mlDataLeak[op.Stab] = (s.mlDataLeak[op.Stab] &^ mask) | leak
+					s.mlDataVal[op.Stab] = (s.mlDataVal[op.Stab] &^ mask) | val
+				}
+			}
+		}
+	case circuit.OpReset:
+		s.reset(op.Q0, mask)
+	case circuit.OpSwapReturn:
+		s.cnot(op.Q0, op.Q1, mask)
+		s.cnot(op.Q1, op.Q0, mask)
+	case circuit.OpCondReturn:
+		// ERASER+M QSG rule (Section 4.6.2), per lane: where the LRC data
+		// measurement classified |L>, the parity qubit's held state is
+		// meaningless — reset it and skip the return SWAP, leaving the data
+		// qubit's freshly reset |0> as a random frame deviation; elsewhere
+		// return as usual.
+		if !s.TrackML {
+			panic("batch: OpCondReturn requires TrackML")
+		}
+		var squash uint64
+		if op.Stab >= 0 {
+			squash = s.mlDataLeak[op.Stab] & mask
+		}
+		if ret := mask &^ squash; ret != 0 {
+			s.cnot(op.Q0, op.Q1, ret)
+			s.cnot(op.Q1, op.Q0, ret)
+		}
+		if squash != 0 {
+			s.reset(op.Q0, squash)
+			s.x[op.Q1] = (s.x[op.Q1] &^ squash) | (s.rng.Uint64() & squash)
+			s.z[op.Q1] = (s.z[op.Q1] &^ squash) | (s.rng.Uint64() & squash)
+		}
+	case circuit.OpLeakISWAP:
+		s.leakISWAP(op.Q0, op.Q1, mask)
+	default:
+		panic(fmt.Sprintf("batch: unknown op kind %d", op.Kind))
+	}
+}
+
 // FinalMeasure performs the transversal data measurement in the memory
 // basis and returns one outcome-flip word per data qubit (aliasing an
 // internal buffer).
@@ -227,9 +336,9 @@ func (s *Simulator) FinalMeasure(ops []circuit.Op) []uint64 {
 			continue
 		}
 		if s.Basis == surfacecode.KindX {
-			s.finalData[op.Q0] = s.measureXWord(op.Q0)
+			s.finalData[op.Q0] = s.measureXWord(op.Q0, AllLanes)
 		} else {
-			s.finalData[op.Q0] = s.measureZWord(op.Q0)
+			s.finalData[op.Q0] = s.measureZWord(op.Q0, AllLanes)
 		}
 	}
 	return s.finalData
@@ -350,20 +459,52 @@ func (s *Simulator) depolarize2Mask(a, b int, m uint64) {
 	}
 }
 
-// ----------------------------------------------------------------- gates --
-
-func (s *Simulator) hadamard(q int) {
-	lk := s.leaked[q]
-	x, z := s.x[q], s.z[q]
-	s.x[q] = (z &^ lk) | (x & lk)
-	s.z[q] = (x &^ lk) | (z & lk)
-	s.depolarize1Mask(q, s.depol.next()&^lk)
+// classifyML returns the multi-level classification planes for a measurement
+// of qubit q whose two-level outcome word (already restricted to mask) is w:
+// leaked lanes classify |L>, others carry the outcome bit, and each lane
+// errs to one of the two wrong classes with probability PMultiLevelError,
+// matching the scalar discriminator.
+func (s *Simulator) classifyML(q int, w, mask uint64) (leak, val uint64) {
+	leak = s.leaked[q] & mask
+	val = w &^ leak
+	for errm := s.mlErr.next() & mask; errm != 0; errm &= errm - 1 {
+		bit := errm & -errm
+		switch {
+		case leak&bit != 0: // |L> misread as |0> or |1>
+			leak &^= bit
+			if s.rng.IntN(2) == 1 {
+				val |= bit
+			}
+		case val&bit != 0: // |1> misread as |0> or |L>
+			val &^= bit
+			if s.rng.IntN(2) == 1 {
+				leak |= bit
+			}
+		default: // |0> misread as |1> or |L>
+			if s.rng.IntN(2) == 0 {
+				val |= bit
+			} else {
+				leak |= bit
+			}
+		}
+	}
+	return leak, val
 }
 
-func (s *Simulator) cnot(c, t int) {
+// ----------------------------------------------------------------- gates --
+
+func (s *Simulator) hadamard(q int, mask uint64) {
+	swap := mask &^ s.leaked[q]
+	x, z := s.x[q], s.z[q]
+	s.x[q] = (z & swap) | (x &^ swap)
+	s.z[q] = (x & swap) | (z &^ swap)
+	s.depolarize1Mask(q, s.depol.next()&swap)
+}
+
+func (s *Simulator) cnot(c, t int, mask uint64) {
 	n := &s.Noise
-	lc, lt := s.leaked[c], s.leaked[t]
-	both := ^(lc | lt)
+	lc, lt := s.leaked[c]&mask, s.leaked[t]&mask
+	both := mask &^ (lc | lt)
 	s.x[t] ^= s.x[c] & both
 	s.z[c] ^= s.z[t] & both
 	s.depolarize2Mask(c, t, s.depol.next()&both)
@@ -391,12 +532,12 @@ func (s *Simulator) cnot(c, t int) {
 
 // leakISWAP mirrors the scalar simulator's DQLR LeakageISWAP semantics,
 // partitioned by lane into the three scalar cases.
-func (s *Simulator) leakISWAP(d, p int) {
+func (s *Simulator) leakISWAP(d, p int, mask uint64) {
 	n := &s.Noise
-	ld, lp := s.leaked[d], s.leaked[p]
-	caseD := ld        // leaked data: return to computational basis
-	caseP := lp &^ ld  // leaked parity only: leaked-CNOT-operand behavior
-	rest := ^(ld | lp) // neither leaked
+	ld, lp := s.leaked[d]&mask, s.leaked[p]&mask
+	caseD := ld           // leaked data: return to computational basis
+	caseP := lp &^ ld     // leaked parity only: leaked-CNOT-operand behavior
+	rest := mask &^ (ld | lp) // neither leaked
 
 	if caseD != 0 {
 		s.unleakMask(d, caseD)
@@ -432,33 +573,35 @@ func (s *Simulator) leakISWAP(d, p int) {
 	}
 }
 
-// measureZWord returns the two-level Z-basis outcome word for qubit q:
-// the X frame on unleaked lanes, random bits on leaked lanes, with a
-// measurement flip at probability P on unleaked lanes.
-func (s *Simulator) measureZWord(q int) uint64 {
-	lk := s.leaked[q]
-	w := s.x[q] &^ lk
+// measureZWord returns the two-level Z-basis outcome word for the masked
+// lanes of qubit q (clear elsewhere): the X frame on unleaked lanes, random
+// bits on leaked lanes, with a measurement flip at probability P on unleaked
+// lanes.
+func (s *Simulator) measureZWord(q int, mask uint64) uint64 {
+	lk := s.leaked[q] & mask
+	w := s.x[q] & mask &^ lk
 	if lk != 0 {
 		w |= s.rng.Uint64() & lk
 	}
-	return w ^ (s.depol.next() &^ lk)
+	return w ^ (s.depol.next() & mask &^ lk)
 }
 
 // measureXWord is measureZWord in the X basis: the Z frame decides the
 // deviation from the reference |+>/|-> outcome.
-func (s *Simulator) measureXWord(q int) uint64 {
-	lk := s.leaked[q]
-	w := s.z[q] &^ lk
+func (s *Simulator) measureXWord(q int, mask uint64) uint64 {
+	lk := s.leaked[q] & mask
+	w := s.z[q] & mask &^ lk
 	if lk != 0 {
 		w |= s.rng.Uint64() & lk
 	}
-	return w ^ (s.depol.next() &^ lk)
+	return w ^ (s.depol.next() & mask &^ lk)
 }
 
-func (s *Simulator) reset(q int) {
-	s.leaked[q] = 0
-	s.z[q] = 0
-	s.x[q] = s.depol.next() // initialization error: |1> instead of |0>
+func (s *Simulator) reset(q int, mask uint64) {
+	s.leaked[q] &^= mask
+	s.z[q] &^= mask
+	// Initialization error: |1> instead of |0> on masked lanes.
+	s.x[q] = (s.x[q] &^ mask) | (s.depol.next() & mask)
 }
 
 func (s *Simulator) roundStartNoise() {

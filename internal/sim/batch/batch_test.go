@@ -230,6 +230,164 @@ func TestSamplerMatchesBernoulli(t *testing.T) {
 	}
 }
 
+// TestMaskedLRCTouchesOnlyMaskedLanes: the heart of the lane-masked engine —
+// an LRC masked to a subset of lanes removes leakage exactly there, while
+// unmasked lanes (whose plan had no LRC) keep both their leakage and their
+// Pauli frames untouched by the LRC's measure/reset.
+func TestMaskedLRCTouchesOnlyMaskedLanes(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	n := noiseless()
+	n.PTransport = 0
+	s := New(l, n, surfacecode.KindZ)
+	s.Reset(stats.NewRNG(11, 11))
+	b := circuit.NewBuilder(l)
+
+	const q = 0
+	lrcLanes := uint64(0b0101)  // lanes 0, 2: plan an LRC on q
+	leakLanes := uint64(0b0110) // lanes 1, 2: q starts leaked
+	s.InjectLeak(q, leakLanes)
+
+	plans := make([]circuit.Plan, Lanes)
+	for i := 0; i < Lanes; i++ {
+		if lrcLanes&(1<<uint(i)) != 0 {
+			plans[i] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
+		}
+	}
+	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+
+	// Lane 2 (leaked, LRC'd) is cleaned; lane 1 (leaked, no LRC) stays
+	// leaked; every other lane stays unleaked.
+	if got := s.LeakedWord(q); got != 0b0010 {
+		t.Fatalf("leaked word %b after masked round, want 0b0010", got)
+	}
+}
+
+// TestMaskedFrameIsolation: lane 3's LRC measures and resets the data qubit
+// mid-round, but the SWAP protocol holds the data state on the parity qubit
+// and returns it afterwards — so the X frame must survive on the LRC'd lane
+// (state-preserving leakage removal, as in the scalar engine) and, crucially,
+// on lane 7, whose plan never touched the qubit.
+func TestMaskedFrameIsolation(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	s := New(l, noiseless(), surfacecode.KindZ)
+	s.Reset(stats.NewRNG(12, 12))
+	b := circuit.NewBuilder(l)
+	s.RunRound(b.Round(circuit.Plan{})) // settle round 1
+
+	const q = 4 // center data qubit
+	s.InjectX(q, 1<<3|1<<7)
+	plans := make([]circuit.Plan, Lanes)
+	plans[3] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
+	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+
+	if s.x[q]&(1<<7) == 0 {
+		t.Fatal("lane 7's X frame was destroyed by lane 3's LRC")
+	}
+	if s.x[q]&(1<<3) == 0 {
+		t.Fatal("lane 3's X frame was not returned by its LRC's swap-back")
+	}
+	// No other lane may have picked up a frame bit from the masked ops.
+	if extra := s.x[q] &^ (1<<3 | 1<<7); extra != 0 {
+		t.Fatalf("masked round leaked X frames onto lanes %b", extra)
+	}
+}
+
+// TestMLClassificationPlanes: with TrackML, a leaked measured wire is
+// classified |L> in exactly its leaked lanes (error-free discriminator),
+// and the data-wire planes are populated only for LRC'd stabilizers.
+func TestMLClassificationPlanes(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	n := noiseless()
+	n.PTransport = 0
+	s := New(l, n, surfacecode.KindZ)
+	s.TrackML = true
+	s.Reset(stats.NewRNG(13, 13))
+	b := circuit.NewBuilder(l)
+
+	// Leak a parity qubit on lanes 0 and 5; its measurement this round must
+	// classify |L> exactly there.
+	stab := 0
+	anc := l.Stabilizers[stab].Ancilla
+	s.InjectLeak(anc, 1<<0|1<<5)
+	s.RunRound(b.Round(circuit.Plan{}))
+	if got := s.MLParityLeak()[stab]; got != 1<<0|1<<5 {
+		t.Fatalf("MLParityLeak[%d] = %b, want lanes 0 and 5", stab, got)
+	}
+	for i := range l.Stabilizers {
+		if i != stab && s.MLParityLeak()[i] != 0 {
+			t.Fatalf("MLParityLeak[%d] = %b, want 0", i, s.MLParityLeak()[i])
+		}
+	}
+
+	// An LRC on a leaked data qubit: the data-wire plane flags |L> on the
+	// LRC'd lane, driving the ERASER+M conditional swap-back.
+	const q = 0
+	s.InjectLeak(q, 1<<2)
+	plans := make([]circuit.Plan, Lanes)
+	plans[2] = circuit.Plan{
+		LRCs:       []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}},
+		CondReturn: true,
+	}
+	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+	if got := s.MLDataLeak()[l.SwapPrimary[q]]; got != 1<<2 {
+		t.Fatalf("MLDataLeak = %b, want lane 2", got)
+	}
+	if s.LeakedWord(q) != 0 {
+		t.Fatalf("conditional-return LRC left leakage: %b", s.LeakedWord(q))
+	}
+}
+
+// TestCondReturnRequiresTrackML: executing the ERASER+M conditional
+// swap-back without the ML planes is a harness bug and must panic.
+func TestCondReturnRequiresTrackML(t *testing.T) {
+	l := surfacecode.MustNew(3)
+	s := New(l, noiseless(), surfacecode.KindZ)
+	s.Reset(stats.NewRNG(14, 14))
+	b := circuit.NewBuilder(l)
+	plans := make([]circuit.Plan, Lanes)
+	plans[0] = circuit.Plan{
+		LRCs:       []circuit.LRC{{Data: 0, Stab: l.SwapPrimary[0]}},
+		CondReturn: true,
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OpCondReturn without TrackML did not panic")
+		}
+	}()
+	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+}
+
+// TestMaskedNoiselessRoundsAreQuiet: masked rounds with heterogeneous
+// per-lane plans stay silent without noise, and the observable stays
+// unflipped in every lane.
+func TestMaskedNoiselessRoundsAreQuiet(t *testing.T) {
+	l := surfacecode.MustNew(5)
+	n := noiseless()
+	n.PTransport = 0
+	s := New(l, n, surfacecode.KindZ)
+	s.Reset(stats.NewRNG(15, 15))
+	b := circuit.NewBuilder(l)
+	for r := 1; r <= 6; r++ {
+		plans := make([]circuit.Plan, Lanes)
+		for i := 0; i < Lanes; i++ {
+			q := (r + i) % l.NumData
+			if i%3 == 0 {
+				plans[i] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
+			}
+		}
+		events := s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+		for i, e := range events {
+			if e != 0 {
+				t.Fatalf("round %d: masked event word %b on stabilizer %d without noise", r, e, i)
+			}
+		}
+	}
+	final := s.FinalMeasure(b.FinalMeasurement())
+	if obs := s.ObservableFlip(final); obs != 0 {
+		t.Fatalf("observable flipped without noise: %b", obs)
+	}
+}
+
 // TestBatchRNGDeterminism: same seed, same trajectory; different seeds
 // diverge.
 func TestBatchRNGDeterminism(t *testing.T) {
