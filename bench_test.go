@@ -19,9 +19,11 @@ import (
 	"repro/internal/noise"
 	"repro/internal/qudit"
 	"repro/internal/rtl"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/sim/batch"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/surfacecode"
 )
 
@@ -467,6 +469,49 @@ func BenchmarkBatchMaskedRoundD7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunRoundMasked(builder.MaskedRound(plans, batch.AllLanes))
 	}
+}
+
+// ------------------------------------------------- result store warm vs cold
+
+// BenchmarkStoreWarmVsCold measures the Figure 14 sweep served through the
+// orchestration service: cold (fresh store, every unit simulated) versus
+// warm (all points answered from merged tallies, zero units simulated). The
+// warm path must be >= 50x faster (see DESIGN.md); in practice it is
+// hash-lookup bound and lands orders of magnitude beyond that.
+func BenchmarkStoreWarmVsCold(b *testing.B) {
+	opts := func(sched *service.Scheduler) experiment.Options {
+		o := benchOpts()
+		o.Runner = sched.Runner(service.Precision{})
+		return o
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := store.Open("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched := service.New(st, 0)
+			experiment.Figure14(opts(sched))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := service.New(st, 0)
+		experiment.Figure14(opts(sched)) // prime outside the timer
+		preUnits := sched.UnitsExecuted()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			experiment.Figure14(opts(sched))
+		}
+		b.StopTimer()
+		if n := sched.UnitsExecuted() - preUnits; n != 0 {
+			b.Fatalf("warm sweep executed %d units", n)
+		}
+		b.ReportMetric(0, "units_executed")
+	})
 }
 
 // -------------------------------------------------------- substrate micro

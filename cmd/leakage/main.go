@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -27,25 +28,60 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/noise"
 	"repro/internal/qudit"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
+// allExperiments is the expansion of -exp all, in presentation order.
+var allExperiments = []string{"eqs", "table2", "table2emp", "fig1c", "fig2c",
+	"fig5", "fig6", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"fig20", "fig21", "postselect", "latency"}
+
+// experimentNames lists every valid -exp value — the "all" set plus aliases
+// and the meta-name itself — and is what unknown names are rejected against,
+// up front (before any sweep runs).
+var experimentNames = append(append([]string{}, allExperiments...), "table4", "all")
+
+func usageExit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "leakage: "+format+"\n", args...)
+	sorted := append([]string(nil), experimentNames...)
+	sort.Strings(sorted)
+	fmt.Fprintf(os.Stderr, "valid experiments: %s\n", strings.Join(sorted, " "))
+	fmt.Fprintln(os.Stderr, "run with -h for the full flag reference")
+	os.Exit(2)
+}
+
 func main() {
+	// The experiment loop runs inside realMain so deferred reporting (the
+	// store units-executed summary) still prints when a sweep fails.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig1c fig2c eqs table2 table2emp fig5 fig6 fig8 fig14 fig15 fig16 table4 fig17 fig18 fig20 fig21 postselect latency all")
+		exp       = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(experimentNames, " "))
 		p         = flag.Float64("p", 1e-3, "physical error rate")
 		shots     = flag.Int("shots", 1000, "Monte-Carlo shots per data point")
 		seed      = flag.Uint64("seed", 2023, "random seed")
 		workers   = flag.Int("workers", 0, "shot parallelism (0 = GOMAXPROCS)")
 		cycles    = flag.Int("cycles", 10, "QEC cycles per experiment")
-		distances = flag.String("d", "3,5,7,9,11", "comma-separated code distances")
+		distances = flag.String("d", "3,5,7,9,11", "comma-separated code distances (odd, >= 3)")
 		distance  = flag.Int("distance", 0, "single distance for per-round figures (0 = paper default)")
+		storeDir  = flag.String("store", "", "content-addressed result store directory: sweeps reuse and extend stored tallies (empty = no store)")
+		targetCI  = flag.Float64("target-ci", 0, "adaptive precision: stop each point when the Wilson 95% half-width on LER reaches this (0 = fixed -shots; requires a runner, implies an in-memory store if -store is unset)")
+		minShots  = flag.Int("min-shots", 0, "adaptive precision floor per point (0 = service default)")
+		maxShots  = flag.Int("max-shots", 0, "adaptive precision budget cap per point (0 = service default)")
 	)
 	flag.Parse()
 
 	ds, err := parseDistances(*distances)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leakage:", err)
-		os.Exit(2)
+		usageExit("%v", err)
+	}
+	if *distance != 0 {
+		if err := checkDistance(*distance); err != nil {
+			usageExit("-distance: %v", err)
+		}
 	}
 	opt := experiment.Options{
 		Shots:     *shots,
@@ -57,20 +93,66 @@ func main() {
 		Distance:  *distance,
 	}
 
-	names := strings.Split(*exp, ",")
-	if *exp == "all" {
-		names = []string{"eqs", "table2", "table2emp", "fig1c", "fig2c", "fig5",
-			"fig6", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig20",
-			"fig21", "postselect", "latency"}
-	}
-	for _, name := range names {
-		start := time.Now()
-		if err := run(strings.TrimSpace(name), opt); err != nil {
+	if *storeDir != "" || *targetCI > 0 {
+		st, err := store.Open(*storeDir)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "leakage:", err)
-			os.Exit(1)
+			return 1
+		}
+		sched := service.New(st, *workers)
+		prec := service.Precision{
+			TargetCIHalfWidth: *targetCI,
+			MinShots:          *minShots,
+			MaxShots:          *maxShots,
+		}
+		opt.Runner = sched.Runner(prec)
+		defer func() {
+			fmt.Printf("[store: %d simulation units executed this run]\n", sched.UnitsExecuted())
+		}()
+	}
+
+	names := strings.Split(*exp, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+	// Validate every requested name before running any sweep, so a typo at
+	// the end of the list cannot waste the whole run.
+	valid := make(map[string]bool, len(experimentNames))
+	for _, n := range experimentNames {
+		valid[n] = true
+	}
+	expanded := make([]string, 0, len(names))
+	for _, name := range names {
+		if !valid[name] {
+			usageExit("unknown experiment %q", name)
+		}
+		if name == "all" {
+			expanded = append(expanded, allExperiments...)
+		} else {
+			expanded = append(expanded, name)
+		}
+	}
+	for _, name := range expanded {
+		start := time.Now()
+		if err := runExperiment(name, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "leakage:", err)
+			return 1
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runExperiment converts runtime panics — service errors surfacing through
+// the store-backed Runner, invalid configs inside experiment.Run — into the
+// clean one-line error exit path instead of a goroutine dump.
+func runExperiment(name string, opt experiment.Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: %v", name, r)
+		}
+	}()
+	return run(name, opt)
 }
 
 func run(name string, opt experiment.Options) error {
@@ -203,14 +285,30 @@ func max(xs []float64) float64 {
 	return m
 }
 
+// checkDistance rejects distances the surface-code layout cannot represent;
+// before this guard a bad -d list failed late (mid-sweep, via panic) or not
+// at all. The rule itself lives in experiment.CheckDistance, shared with
+// the service's request validation.
+func checkDistance(d int) error { return experiment.CheckDistance(d) }
+
 func parseDistances(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
-		d, err := strconv.Atoi(strings.TrimSpace(part))
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("-d: empty distance entry in %q", s)
+		}
+		d, err := strconv.Atoi(part)
 		if err != nil {
-			return nil, fmt.Errorf("bad distance %q: %v", part, err)
+			return nil, fmt.Errorf("-d: bad distance %q: %v", part, err)
+		}
+		if err := checkDistance(d); err != nil {
+			return nil, fmt.Errorf("-d: %v", err)
 		}
 		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-d: no distances given")
 	}
 	return out, nil
 }

@@ -1,0 +1,44 @@
+// Command leakserved serves the ERASER evaluation surface over HTTP: an
+// async sweep service with a content-addressed result store, deduplicated
+// in-flight jobs, and CI-targeted adaptive shot allocation. Repeated queries
+// for the same experiment are answered from merged tallies without running a
+// single simulation unit; requests for higher precision extend the stored
+// work instead of redoing it.
+//
+//	leakserved -addr :8714 -store ./results
+//
+//	# submit a point (adaptive precision: stop at ±0.01 on LER)
+//	curl -s localhost:8714/v1/run -d '{
+//	  "config": {"distance": 5, "cycles": 10, "p": 1e-3, "policy": "eraser"},
+//	  "precision": {"target_ci_half_width": 0.01, "min_shots": 256}
+//	}'
+//
+//	# poll (or stream interim tallies from /v1/stream?job=j1)
+//	curl -s localhost:8714/v1/result?job=j1
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8714", "listen address")
+		dir     = flag.String("store", "", "result store directory (empty = in-memory only)")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		log.Fatalf("leakserved: %v", err)
+	}
+	sched := service.New(st, *workers)
+	log.Printf("leakserved: listening on %s (store %q)", *addr, *dir)
+	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(sched)))
+}

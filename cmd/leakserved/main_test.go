@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestLeakservedSmoke drives the exact handler stack the binary serves
+// through an httptest server backed by an on-disk store: submit a config,
+// poll it to completion, then assert the second identical request is a
+// cache hit. CI runs this as the server smoke step.
+func TestLeakservedSmoke(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := service.New(st, 0)
+	srv := httptest.NewServer(service.NewHandler(sched))
+	defer srv.Close()
+
+	const body = `{
+	  "config": {"distance": 3, "cycles": 2, "p": 0.002, "shots": 192,
+	             "seed": 2023, "policy": "always"},
+	  "precision": {}
+	}`
+	run := func() service.ResultResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr service.RunResponse
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(srv.URL + "/v1/result?job=" + rr.Job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res service.ResultResponse
+			err = json.NewDecoder(resp.Body).Decode(&res)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch res.Status.State {
+			case "done":
+				return res
+			case "error":
+				t.Fatalf("job failed: %s", res.Status.Error)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatal("job did not finish")
+		return service.ResultResponse{}
+	}
+
+	first := run()
+	if first.Status.Cached || first.Status.UnitsExecuted == 0 {
+		t.Fatalf("cold request should simulate: %+v", first.Status)
+	}
+	second := run()
+	if !second.Status.Cached || second.Status.UnitsExecuted != 0 {
+		t.Fatalf("second identical request was not a cache hit: %+v", second.Status)
+	}
+	var a, b map[string]any
+	if err := json.Unmarshal(first.Result, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second.Result, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a["ler"] != b["ler"] {
+		t.Fatalf("cache hit changed LER: %v vs %v", a["ler"], b["ler"])
+	}
+}

@@ -1,0 +1,112 @@
+// Example sweepservice is the quickstart for the sweep orchestration
+// subsystem (internal/store + internal/service + cmd/leakserved). It shows
+// the three behaviors the subsystem exists for:
+//
+//  1. warm cache — repeating a sweep answers every point from the
+//     content-addressed store without simulating a single unit;
+//  2. adaptive precision — points stop as soon as the Wilson 95% half-width
+//     on LER reaches the target, so easy points spend a fraction of a fixed
+//     shot budget;
+//  3. extension — tightening the target reuses all prior units and only
+//     simulates the difference;
+//
+// and finishes by exercising the same flows over the leakserved HTTP API.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	st, err := store.Open("") // use a directory to persist across runs
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := service.New(st, 0)
+
+	cfg := func(d int) experiment.Config {
+		return experiment.Config{Distance: d, Cycles: 4, P: 1.5e-3, Shots: 1024,
+			Seed: 2023, Policy: core.PolicyEraser}
+	}
+
+	fmt.Println("== 1. fixed-count sweep, cold then warm ==")
+	for pass := 1; pass <= 2; pass++ {
+		before := sched.UnitsExecuted()
+		start := time.Now()
+		for _, d := range []int{3, 5} {
+			res, err := sched.Run(cfg(d), service.Precision{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  d=%d LER %.2e [%.1e, %.1e] (%d shots)\n",
+				d, res.LER, res.LERLow, res.LERHigh, res.Shots)
+		}
+		fmt.Printf("  pass %d: %d units simulated in %v\n",
+			pass, sched.UnitsExecuted()-before, time.Since(start).Round(time.Microsecond))
+	}
+
+	fmt.Println("== 2. adaptive precision: target half-width 0.015, then 0.008 ==")
+	for _, target := range []float64{0.015, 0.008} {
+		before := sched.UnitsExecuted()
+		for _, d := range []int{3, 5} {
+			j, err := sched.Submit(cfg(d), service.Precision{
+				TargetCIHalfWidth: target, MinShots: 256, MaxShots: 1 << 16})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := j.Result(); err != nil {
+				log.Fatal(err)
+			}
+			tal := j.Tally()
+			fmt.Printf("  d=%d: +-%.4f after %d shots (target %.3f)\n",
+				d, tal.HalfWidth(1.96), tal.Shots, target)
+		}
+		fmt.Printf("  target %.3f: %d new units (prior work reused)\n",
+			target, sched.UnitsExecuted()-before)
+	}
+
+	fmt.Println("== 3. same flows over the leakserved HTTP API ==")
+	srv := httptest.NewServer(service.NewHandler(sched))
+	defer srv.Close()
+	body, _ := json.Marshal(service.RunRequest{
+		Config: service.ConfigSpec{Distance: 3, Cycles: 4, P: 1.5e-3,
+			Shots: 1024, Seed: 2023, Policy: "eraser"},
+	})
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rr service.RunResponse
+	json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	fmt.Printf("  submitted job %s (key %.12s...)\n", rr.Job, rr.Key)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/result?job=" + rr.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var res service.ResultResponse
+		json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if res.Status.State == "done" {
+			fmt.Printf("  done: cached=%v units=%d\n  result: %s\n",
+				res.Status.Cached, res.Status.UnitsExecuted, res.Result)
+			break
+		}
+		if res.Status.State == "error" {
+			log.Fatalf("job failed: %s", res.Status.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

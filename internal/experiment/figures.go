@@ -33,6 +33,20 @@ type Options struct {
 	Transport noise.TransportModel
 	// Protocol selects SWAP LRCs or DQLR.
 	Protocol circuit.Protocol
+	// Runner, when non-nil, replaces direct experiment.Run calls for every
+	// data point of every figure sweep. cmd/leakage installs a store-backed
+	// runner here so warm-cache sweeps are served from persisted tallies and
+	// adaptive-precision runs extend them.
+	Runner func(Config) Result
+}
+
+// run executes one data point through the configured Runner (store-backed
+// when set) or directly.
+func (o Options) run(cfg Config) Result {
+	if o.Runner != nil {
+		return o.Runner(cfg)
+	}
+	return Run(cfg)
 }
 
 func (o Options) filled(defaultDistance int) Options {
@@ -120,7 +134,7 @@ func (o Options) cycleSweep(title string, d int, kinds []core.Kind, names []stri
 			if mutate != nil {
 				mutate(i, &cfg)
 			}
-			cs.LER[i][j] = Run(cfg).LER
+			cs.LER[i][j] = o.run(cfg).LER
 		}
 	}
 	return cs
@@ -215,7 +229,7 @@ func (r *RoundSeries) String() string {
 // cycles at d=7, split into data and parity qubits.
 func Figure5(o Options) *RoundSeries {
 	o = o.filled(7)
-	res := Run(o.config(o.Distance, o.Cycles, core.PolicyAlways))
+	res := o.run(o.config(o.Distance, o.Cycles, core.PolicyAlways))
 	return &RoundSeries{
 		Title:    "Figure 5: LPR under Always-LRCs",
 		Distance: o.Distance,
@@ -231,7 +245,7 @@ func (o Options) lprSweep(title string, d int, kinds []core.Kind) *RoundSeries {
 	rs := &RoundSeries{Title: title, Distance: d}
 	layoutNames(o, kinds, rs)
 	for _, k := range kinds {
-		res := Run(o.config(d, o.Cycles, k))
+		res := o.run(o.config(d, o.Cycles, k))
 		rs.LPR = append(rs.LPR, res.LPRTotal)
 	}
 	return rs
@@ -341,7 +355,7 @@ func Figure14(o Options) *DistanceSweep {
 	for _, k := range kinds {
 		var ler, lo, hi []float64
 		for _, d := range o.Distances {
-			res := Run(o.config(d, o.Cycles, k))
+			res := o.run(o.config(d, o.Cycles, k))
 			ler = append(ler, res.LER)
 			lo = append(lo, res.LERLow)
 			hi = append(hi, res.LERHigh)
@@ -446,7 +460,7 @@ func Figure16Table4(o Options) *AccuracyReport {
 		var acc, lrcs []float64
 		var fpr, fnr float64
 		for _, d := range o.Distances {
-			res := Run(o.config(d, o.Cycles, k))
+			res := o.run(o.config(d, o.Cycles, k))
 			acc = append(acc, 100*res.Accuracy())
 			lrcs = append(lrcs, res.LRCsPerRound)
 			if d == fnrDistance {

@@ -151,19 +151,54 @@ func (r *Result) FNR() float64 {
 // MeanLPR averages the total leakage population ratio over all rounds.
 func (r *Result) MeanLPR() float64 { return stats.Mean(r.LPRTotal) }
 
-// shotAccum accumulates per-worker partial results.
-type shotAccum struct {
-	logicalErrors  int
-	lprData        []float64
-	lprParity      []float64
-	lrcs           int64
-	tp, fp, tn, fn int64
+// UnitShots returns the number of shots per work unit: a whole 64-lane batch
+// on the word-parallel path, a single shot on the scalar path. Units are the
+// quantum of scheduling, caching and merging — each carries its own
+// pre-drawn seed, so any subset of units can run anywhere, in any order, and
+// tally exactly.
+func (c Config) UnitShots() int {
+	if batchEligible(c) {
+		return batch.Lanes
+	}
+	return 1
 }
 
-// Run executes the experiment.
+// NumUnits returns the number of units needed to cover Config.Shots.
+func (c Config) NumUnits() int {
+	u := c.UnitShots()
+	return (c.Shots + u - 1) / u
+}
+
+// Run executes the experiment at its configured shot count and derives the
+// Result from the accumulated tally.
 func Run(cfg Config) Result {
-	layout := surfacecode.MustNew(cfg.Distance)
+	// The final unit is truncated to cfg.Shots, preserving the historical
+	// contract that Result.Shots == cfg.Shots even when Shots is not a
+	// multiple of the batch width.
+	t := runUnitRange(cfg, 0, cfg.NumUnits(), cfg.Shots)
+	return t.ResultFor(cfg)
+}
+
+// RunUnits executes work units [lo, hi) at full width (every unit carries
+// UnitShots shots regardless of cfg.Shots) and returns their tally. Tallies
+// from disjoint ranges of the same config merge exactly — this is the
+// store/service entry point for incremental and adaptive execution.
+func RunUnits(cfg Config, lo, hi int) *Tally {
+	return runUnitRange(cfg, lo, hi, hi*cfg.UnitShots())
+}
+
+// runUnitRange simulates units [lo, hi), with total shot count clamped to
+// shotsCap (the last unit runs fewer lanes when shotsCap cuts into it).
+func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 	rounds := cfg.rounds()
+	unitShots := cfg.UnitShots()
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("experiment: invalid unit range [%d, %d)", lo, hi))
+	}
+	if hi == lo {
+		return NewTally(rounds, unitShots)
+	}
+	layout := surfacecode.MustNew(cfg.Distance)
 	np := cfg.noiseParams()
 	if err := np.Validate(); err != nil {
 		panic(fmt.Sprintf("experiment: %v", err))
@@ -172,20 +207,16 @@ func Run(cfg Config) Result {
 	if cfg.UseUnionFind {
 		dec = decoder.NewUnionFind(layout, cfg.Basis, rounds)
 	}
+	// One pre-drawn seed per unit, a deterministic function of the config
+	// identity and the unit index alone, so results are identical for any
+	// worker count and any partition of the unit range across runs.
 	root := stats.NewRNG(cfg.Seed, configStream(cfg))
-	// Work is split into units — individual shots on the scalar path, whole
-	// 64-lane batches on the batch path — with one pre-drawn seed per unit,
-	// so results are deterministic for any worker count.
-	useBatch := batchEligible(cfg)
-	units := cfg.Shots
-	if useBatch {
-		units = (cfg.Shots + batch.Lanes - 1) / batch.Lanes
-	}
-	seeds := make([]uint64, units)
+	seeds := make([]uint64, hi)
 	for i := range seeds {
 		seeds[i] = root.Uint64()
 	}
 
+	units := hi - lo
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -197,62 +228,38 @@ func Run(cfg Config) Result {
 		workers = 1
 	}
 
-	accums := make([]shotAccum, workers)
+	useBatch := batchEligible(cfg)
+	accums := make([]*Tally, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		acc := &accums[w]
-		acc.lprData = make([]float64, rounds)
-		acc.lprParity = make([]float64, rounds)
+		acc := NewTally(rounds, unitShots)
+		accums[w] = acc
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			switch {
 			case useBatch && staticPlans(cfg.Policy):
-				runBatchWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+				runBatchWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, shotsCap, w, workers, acc)
 			case useBatch:
-				runBatchLaneWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+				runBatchLaneWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, shotsCap, w, workers, acc)
 			default:
-				runWorker(cfg, layout, dec, rounds, np, seeds, w, workers, acc)
+				runWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, w, workers, acc)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	res := Result{Config: cfg, Rounds: rounds, Shots: cfg.Shots,
-		PolicyName: core.NewPolicy(cfg.Policy, layout, cfg.Protocol).Name()}
-	res.LPRData = make([]float64, rounds)
-	res.LPRParity = make([]float64, rounds)
-	res.LPRTotal = make([]float64, rounds)
-	var lrcs int64
-	for i := range accums {
-		a := &accums[i]
-		res.LogicalErrors += a.logicalErrors
-		lrcs += a.lrcs
-		res.TruePos += a.tp
-		res.FalsePos += a.fp
-		res.TrueNeg += a.tn
-		res.FalseNeg += a.fn
-		for r := 0; r < rounds; r++ {
-			res.LPRData[r] += a.lprData[r]
-			res.LPRParity[r] += a.lprParity[r]
+	total := accums[0]
+	for _, a := range accums[1:] {
+		if err := total.Merge(a); err != nil {
+			panic(fmt.Sprintf("experiment: worker tally merge: %v", err))
 		}
 	}
-	if cfg.Shots > 0 {
-		for r := 0; r < rounds; r++ {
-			res.LPRData[r] /= float64(cfg.Shots) * float64(layout.NumData)
-			res.LPRParity[r] /= float64(cfg.Shots) * float64(layout.NumParity)
-			res.LPRTotal[r] = (res.LPRData[r]*float64(layout.NumData) +
-				res.LPRParity[r]*float64(layout.NumParity)) / float64(layout.NumQubits)
-		}
-		res.LER = float64(res.LogicalErrors) / float64(cfg.Shots)
-		res.LERLow, res.LERHigh = stats.Wilson(res.LogicalErrors, cfg.Shots, 1.96)
-		res.LRCsPerRound = float64(lrcs) / float64(cfg.Shots) / float64(rounds)
-	}
-	return res
+	return total
 }
 
 func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, shotSeeds []uint64, w, stride int, acc *shotAccum) {
+	rounds int, np noise.Params, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
@@ -264,7 +271,9 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	events := make([]decoder.Event, 0, 64)
 	var s *sim.Simulator
 
-	for shot := w; shot < cfg.Shots; shot += stride {
+	for shot := lo + w; shot < hi; shot += stride {
+		acc.Covered.Add(shot)
+		acc.Shots++
 		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
 		if s == nil {
 			s = sim.NewMemory(layout, np, rng, cfg.Basis)
@@ -279,17 +288,17 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 
 		for r := 1; r <= rounds; r++ {
 			plan := pol.PlanRound(r)
-			acc.lrcs += int64(len(plan.LRCs))
+			acc.LRCs += int64(len(plan.LRCs))
 			for q := 0; q < layout.NumData; q++ {
 				switch planned, leaked := pol.PlannedLRC(q), prevTruth[q]; {
 				case planned && leaked:
-					acc.tp++
+					acc.TruePos++
 				case planned && !leaked:
-					acc.fp++
+					acc.FalsePos++
 				case !planned && leaked:
-					acc.fn++
+					acc.FalseNeg++
 				default:
-					acc.tn++
+					acc.TrueNeg++
 				}
 			}
 
@@ -302,8 +311,8 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 				}
 			}
 			dleak, pleak := s.LeakedCounts()
-			acc.lprData[r-1] += float64(dleak)
-			acc.lprParity[r-1] += float64(pleak)
+			acc.LPRDataNum[r-1] += int64(dleak)
+			acc.LPRParityNum[r-1] += int64(pleak)
 
 			s.SnapshotLeakedData(truth)
 			pol.Observe(core.RoundInfo{
@@ -325,7 +334,7 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 		}
 		predicted := dec.Decode(events)
 		if predicted != s.ObservableFlip(final) {
-			acc.logicalErrors++
+			acc.LogicalErrors++
 		}
 	}
 }
@@ -375,7 +384,7 @@ func finishBatch(bs *batch.Simulator, builder *circuit.Builder, dec decoder.Engi
 // policies plan identically for every lane, so one plan and one op sequence
 // per round serve the whole batch.
 func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, batchSeeds []uint64, w, stride int, acc *shotAccum) {
+	rounds int, np noise.Params, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
@@ -383,11 +392,13 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
 
-	for b := w; b < len(batchSeeds); b += stride {
+	for b := lo + w; b < hi; b += stride {
 		lanes := batch.Lanes
-		if rem := cfg.Shots - b*batch.Lanes; rem < lanes {
+		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem
 		}
+		acc.Covered.Add(b)
+		acc.Shots += lanes
 		active := batch.LaneMask(lanes)
 		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
 		pol.Reset()
@@ -395,17 +406,17 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 
 		for r := 1; r <= rounds; r++ {
 			plan := pol.PlanRound(r)
-			acc.lrcs += int64(len(plan.LRCs)) * int64(lanes)
+			acc.LRCs += int64(len(plan.LRCs)) * int64(lanes)
 			// Decision accounting against the leakage state at the end of
 			// the previous round, as in the scalar path.
 			for q := 0; q < layout.NumData; q++ {
 				leakedCnt := int64(bits.OnesCount64(bs.LeakedWord(q) & active))
 				if pol.PlannedLRC(q) {
-					acc.tp += leakedCnt
-					acc.fp += int64(lanes) - leakedCnt
+					acc.TruePos += leakedCnt
+					acc.FalsePos += int64(lanes) - leakedCnt
 				} else {
-					acc.fn += leakedCnt
-					acc.tn += int64(lanes) - leakedCnt
+					acc.FalseNeg += leakedCnt
+					acc.TrueNeg += int64(lanes) - leakedCnt
 				}
 			}
 
@@ -416,11 +427,11 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 				}
 			}
 			dleak, pleak := bs.LeakedCounts(active)
-			acc.lprData[r-1] += float64(dleak)
-			acc.lprParity[r-1] += float64(pleak)
+			acc.LPRDataNum[r-1] += int64(dleak)
+			acc.LPRParityNum[r-1] += int64(pleak)
 		}
 
-		acc.logicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
+		acc.LogicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
 	}
 }
 
@@ -432,7 +443,7 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 // lane — and the engine's event, readout and ground-truth words are fanned
 // back out to the per-lane instances.
 func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, batchSeeds []uint64, w, stride int, acc *shotAccum) {
+	rounds int, np noise.Params, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	lp := core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol)
@@ -441,11 +452,13 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
 
-	for b := w; b < len(batchSeeds); b += stride {
+	for b := lo + w; b < hi; b += stride {
 		lanes := batch.Lanes
-		if rem := cfg.Shots - b*batch.Lanes; rem < lanes {
+		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem
 		}
+		acc.Covered.Add(b)
+		acc.Shots += lanes
 		active := batch.LaneMask(lanes)
 		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
 		lp.Reset()
@@ -453,7 +466,7 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 
 		for r := 1; r <= rounds; r++ {
 			plans := lp.PlanRound(r, active)
-			acc.lrcs += lp.LRCTotal()
+			acc.LRCs += lp.LRCTotal()
 			// Decision accounting against the leakage state at the end of
 			// the previous round, as in the scalar path.
 			for q := 0; q < layout.NumData; q++ {
@@ -462,10 +475,10 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 				tp := int64(bits.OnesCount64(planned & leaked))
 				fp := int64(bits.OnesCount64(planned &^ leaked))
 				fn := int64(bits.OnesCount64(leaked &^ planned))
-				acc.tp += tp
-				acc.fp += fp
-				acc.fn += fn
-				acc.tn += int64(lanes) - tp - fp - fn
+				acc.TruePos += tp
+				acc.FalsePos += fp
+				acc.FalseNeg += fn
+				acc.TrueNeg += int64(lanes) - tp - fp - fn
 			}
 
 			events := bs.RunRoundMasked(builder.MaskedRound(plans, active))
@@ -475,8 +488,8 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 				}
 			}
 			dleak, pleak := bs.LeakedCounts(active)
-			acc.lprData[r-1] += float64(dleak)
-			acc.lprParity[r-1] += float64(pleak)
+			acc.LPRDataNum[r-1] += int64(dleak)
+			acc.LPRParityNum[r-1] += int64(pleak)
 
 			lp.Observe(core.LaneRoundInfo{
 				Round:          r,
@@ -488,7 +501,7 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 			})
 		}
 
-		acc.logicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
+		acc.LogicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
 	}
 }
 

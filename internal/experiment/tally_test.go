@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func jsonRoundTrip(in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, out)
+}
+
+func tallyCfg(pol core.Kind, shots int, forceScalar bool) Config {
+	return Config{Distance: 3, Cycles: 2, P: 2e-3, Shots: shots, Seed: 11,
+		Policy: pol, Workers: 2, ForceScalar: forceScalar}
+}
+
+// TestTallyMergePartition is the exact-merge property test: N partial runs
+// over disjoint unit ranges must merge to the identical tally of one full
+// run at the same seed — bit-for-bit, not just statistically — and Wilson
+// bounds recomputed from the merged counts must match the full run's.
+func TestTallyMergePartition(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"batch-static", tallyCfg(core.PolicyAlways, 4*64, false)},
+		{"batch-adaptive", tallyCfg(core.PolicyEraser, 4*64, false)},
+		{"scalar", tallyCfg(core.PolicyAlways, 24, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			units := tc.cfg.NumUnits()
+			full := RunUnits(tc.cfg, 0, units)
+
+			// Partition [0, units) into three uneven ranges, run each
+			// independently and merge out of order.
+			cuts := []int{0, units / 3, units / 2, units}
+			parts := make([]*Tally, 0, 3)
+			for i := 0; i+1 < len(cuts); i++ {
+				parts = append(parts, RunUnits(tc.cfg, cuts[i], cuts[i+1]))
+			}
+			merged := parts[2].Clone()
+			if err := merged.Merge(parts[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(parts[1]); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(full, merged) {
+				t.Fatalf("merged partition differs from full run:\nfull   %+v\nmerged %+v", full, merged)
+			}
+
+			fullRes := full.ResultFor(tc.cfg)
+			lo, hi := stats.Wilson(merged.LogicalErrors, merged.Shots, 1.96)
+			if lo != fullRes.LERLow || hi != fullRes.LERHigh {
+				t.Fatalf("Wilson bounds from merged counts [%v, %v] != full run [%v, %v]",
+					lo, hi, fullRes.LERLow, fullRes.LERHigh)
+			}
+			if got := merged.HalfWidth(1.96); got != (hi-lo)/2 {
+				t.Fatalf("HalfWidth %v != (hi-lo)/2 %v", got, (hi-lo)/2)
+			}
+		})
+	}
+}
+
+// TestRunEqualsUnitTally: Run must be exactly the tally path at the
+// config's own shot count.
+func TestRunEqualsUnitTally(t *testing.T) {
+	cfg := tallyCfg(core.PolicyEraserM, 2*64, false)
+	res := Run(cfg)
+	unit := RunUnits(cfg, 0, cfg.NumUnits()).ResultFor(cfg)
+	if res.LogicalErrors != unit.LogicalErrors || res.Shots != unit.Shots ||
+		res.TruePos != unit.TruePos || res.LRCsPerRound != unit.LRCsPerRound {
+		t.Fatalf("Run %+v != RunUnits-derived %+v", res, unit)
+	}
+	if !sameSeries(res.LPRTotal, unit.LPRTotal) {
+		t.Fatal("LPR series diverged between Run and RunUnits")
+	}
+}
+
+func TestTallyMergeRejectsOverlapAndShapeMismatch(t *testing.T) {
+	cfg := tallyCfg(core.PolicyAlways, 3*64, false)
+	a := RunUnits(cfg, 0, 2)
+	b := RunUnits(cfg, 1, 3)
+	if err := a.Clone().Merge(b); err == nil {
+		t.Fatal("overlapping unit sets merged without error")
+	}
+	short := cfg
+	short.Cycles = 1
+	c := RunUnits(short, 3, 4)
+	if err := a.Clone().Merge(c); err == nil {
+		t.Fatal("mismatched round counts merged without error")
+	}
+	scalar := cfg
+	scalar.ForceScalar = true
+	d := RunUnits(scalar, 200, 201)
+	if err := a.Clone().Merge(d); err == nil {
+		t.Fatal("mismatched unit widths merged without error")
+	}
+}
+
+func TestTallyJSONRoundTrip(t *testing.T) {
+	cfg := tallyCfg(core.PolicyAlways, 2*64, false)
+	orig := RunUnits(cfg, 0, 2)
+	var back Tally
+	if err := jsonRoundTrip(orig, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, &back) {
+		t.Fatalf("tally did not survive JSON round trip:\norig %+v\nback %+v", orig, &back)
+	}
+}
+
+func TestUnitSetProperties(t *testing.T) {
+	f := func(idxs []uint16, probe uint16) bool {
+		var s UnitSet
+		seen := map[int]bool{}
+		for _, i := range idxs {
+			s.Add(int(i) % 2048)
+			seen[int(i)%2048] = true
+		}
+		if s.Count() != len(seen) {
+			return false
+		}
+		p := int(probe) % 2048
+		if s.Contains(p) != seen[p] {
+			return false
+		}
+		// FirstGap returns an uncovered index at or after the probe, with
+		// everything in between covered.
+		g := s.FirstGap(p)
+		if s.Contains(g) || g < p {
+			return false
+		}
+		for i := p; i < g; i++ {
+			if !s.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigKeySeparatesConfigsAndIgnoresVolume(t *testing.T) {
+	base := tallyCfg(core.PolicyEraser, 256, false)
+	key := func(c Config) string {
+		k, err := c.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	k0 := key(base)
+
+	// Shots and Workers choose how much/how fast, not what: same key.
+	more := base
+	more.Shots = 4096
+	more.Workers = 7
+	if key(more) != k0 {
+		t.Fatal("Shots/Workers changed the content key; tallies could never extend")
+	}
+
+	// Anything that changes unit content must change the key.
+	for name, mutate := range map[string]func(*Config){
+		"distance": func(c *Config) { c.Distance = 5 },
+		"cycles":   func(c *Config) { c.Cycles = 3 },
+		"policy":   func(c *Config) { c.Policy = core.PolicyAlways },
+		"seed":     func(c *Config) { c.Seed++ },
+		"p":        func(c *Config) { c.P = 3e-3 },
+		"scalar":   func(c *Config) { c.ForceScalar = true },
+		"uf":       func(c *Config) { c.UseUnionFind = true },
+	} {
+		c := base
+		mutate(&c)
+		if key(c) == k0 {
+			t.Fatalf("%s change did not change the content key", name)
+		}
+	}
+
+	if _, err := (Config{Distance: 3, Tune: func(core.Policy) {}}).Key(); err == nil {
+		t.Fatal("Tune-carrying config must have no content key")
+	}
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/noise"
+	"repro/internal/surfacecode"
+)
+
+// ConfigSpec is the wire form of experiment.Config: names instead of enum
+// ordinals, and no function-valued fields, so it round-trips through JSON.
+type ConfigSpec struct {
+	Distance     int     `json:"distance"`
+	Cycles       int     `json:"cycles,omitempty"`
+	Rounds       int     `json:"rounds,omitempty"`
+	P            float64 `json:"p"`
+	Shots        int     `json:"shots,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+	Policy       string  `json:"policy"`
+	Protocol     string  `json:"protocol,omitempty"`  // "swap" (default) or "dqlr"
+	Basis        string  `json:"basis,omitempty"`     // "Z" (default) or "X"
+	Transport    string  `json:"transport,omitempty"` // "conservative" (default) or "exchange"
+	NoLeakage    bool    `json:"no_leakage,omitempty"`
+	UseUnionFind bool    `json:"use_union_find,omitempty"`
+}
+
+// PolicyNames lists the accepted policy spellings.
+var PolicyNames = []string{"nolrc", "always", "eraser", "eraser+m", "optimal"}
+
+func parsePolicy(name string) (core.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "nolrc", "none", "no-lrc":
+		return core.PolicyNone, nil
+	case "always", "always-lrcs":
+		return core.PolicyAlways, nil
+	case "eraser":
+		return core.PolicyEraser, nil
+	case "eraser+m", "eraserm", "eraser-m":
+		return core.PolicyEraserM, nil
+	case "optimal":
+		return core.PolicyOptimal, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(PolicyNames, ", "))
+	}
+}
+
+// Config resolves the spec into an experiment.Config.
+func (cs ConfigSpec) Config() (experiment.Config, error) {
+	var cfg experiment.Config
+	pol, err := parsePolicy(cs.Policy)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = experiment.Config{
+		Distance:     cs.Distance,
+		Cycles:       cs.Cycles,
+		Rounds:       cs.Rounds,
+		P:            cs.P,
+		Shots:        cs.Shots,
+		Seed:         cs.Seed,
+		Policy:       pol,
+		UseUnionFind: cs.UseUnionFind,
+	}
+	switch strings.ToLower(cs.Protocol) {
+	case "", "swap":
+	case "dqlr":
+		cfg.Protocol = circuit.ProtocolDQLR
+	default:
+		return cfg, fmt.Errorf("unknown protocol %q (valid: swap, dqlr)", cs.Protocol)
+	}
+	switch strings.ToUpper(cs.Basis) {
+	case "", "Z":
+		cfg.Basis = surfacecode.KindZ
+	case "X":
+		cfg.Basis = surfacecode.KindX
+	default:
+		return cfg, fmt.Errorf("unknown basis %q (valid: Z, X)", cs.Basis)
+	}
+	np := noise.Standard(cs.P)
+	switch strings.ToLower(cs.Transport) {
+	case "", "conservative":
+	case "exchange":
+		np = np.WithTransport(noise.TransportExchange)
+	default:
+		return cfg, fmt.Errorf("unknown transport %q (valid: conservative, exchange)", cs.Transport)
+	}
+	if cs.NoLeakage {
+		np = noise.WithoutLeakage(cs.P)
+	}
+	cfg.Noise = &np
+	return cfg, nil
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	Config    ConfigSpec `json:"config"`
+	Precision Precision  `json:"precision"`
+}
+
+// RunResponse acknowledges a submitted job.
+type RunResponse struct {
+	Job    string `json:"job"`
+	Key    string `json:"key"`
+	Status Status `json:"status"`
+}
+
+// ResultResponse is the GET /v1/result payload.
+type ResultResponse struct {
+	Status Status          `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// NewHandler returns the HTTP front end over the scheduler:
+//
+//	POST /v1/run     submit a config (+ optional precision); 202 + job handle
+//	GET  /v1/result  ?job=ID — result when done (200), interim status (202)
+//	GET  /v1/stream  ?job=ID — ND-JSON stream of interim tallies until done
+//	GET  /v1/healthz liveness + units-executed counter
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		cfg, err := req.Config.Config()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad config: %v", err)
+			return
+		}
+		job, err := s.Submit(cfg, req.Precision)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSONStatus(w, http.StatusAccepted, RunResponse{Job: job.ID, Key: job.Key, Status: job.Status()})
+	})
+	mux.HandleFunc("/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.URL.Query().Get("job"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.URL.Query().Get("job"))
+			return
+		}
+		st := job.Status()
+		resp := ResultResponse{Status: st}
+		code := http.StatusAccepted
+		switch st.State {
+		case "done":
+			code = http.StatusOK
+			res, err := job.Result()
+			if err == nil {
+				var buf bytes.Buffer
+				if err := res.WriteJSON(&buf); err == nil {
+					resp.Result = buf.Bytes()
+				}
+			}
+		case "error":
+			code = http.StatusInternalServerError
+		}
+		writeJSONStatus(w, code, resp)
+	})
+	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.URL.Query().Get("job"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job %q", r.URL.Query().Get("job"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			// One interim tally per tick, then the final snapshot.
+			st := job.Status()
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if st.State != "running" {
+				return
+			}
+			select {
+			case <-job.Done():
+			case <-ticker.C:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONStatus(w, http.StatusOK, map[string]any{
+			"ok":             true,
+			"units_executed": s.UnitsExecuted(),
+		})
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSONStatus(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

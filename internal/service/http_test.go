@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/noise"
+	"repro/internal/store"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(st, 0)
+	srv := httptest.NewServer(NewHandler(sched))
+	t.Cleanup(srv.Close)
+	return srv, sched
+}
+
+func submit(t *testing.T, srv *httptest.Server, body string) RunResponse {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /v1/run: %d %s", resp.StatusCode, buf.String())
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func pollDone(t *testing.T, srv *httptest.Server, job string) ResultResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/v1/result?job=" + job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr ResultResponse
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rr.Status.State {
+		case "done":
+			return rr
+		case "error":
+			t.Fatalf("job %s failed: %s", job, rr.Status.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", job)
+	return ResultResponse{}
+}
+
+const smokeBody = `{
+  "config": {"distance": 3, "cycles": 2, "p": 0.002, "shots": 256,
+             "seed": 7, "policy": "eraser"},
+  "precision": {}
+}`
+
+// TestServerSmoke is the end-to-end smoke the CI job runs: submit a config,
+// poll it to completion, then assert the second identical request is a pure
+// cache hit (zero units executed, same numbers).
+func TestServerSmoke(t *testing.T) {
+	srv, sched := newTestServer(t)
+
+	first := submit(t, srv, smokeBody)
+	res1 := pollDone(t, srv, first.Job)
+	if res1.Status.UnitsExecuted == 0 {
+		t.Fatal("cold request executed no units")
+	}
+	if len(res1.Result) == 0 {
+		t.Fatal("done response carried no result payload")
+	}
+	var body1 map[string]any
+	if err := json.Unmarshal(res1.Result, &body1); err != nil {
+		t.Fatal(err)
+	}
+	if body1["shots"].(float64) < 256 {
+		t.Fatalf("result covers %v shots, want >= 256", body1["shots"])
+	}
+
+	cold := sched.UnitsExecuted()
+	second := submit(t, srv, smokeBody)
+	res2 := pollDone(t, srv, second.Job)
+	if !res2.Status.Cached {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	if n := sched.UnitsExecuted() - cold; n != 0 {
+		t.Fatalf("second identical request executed %d units", n)
+	}
+	var body2 map[string]any
+	if err := json.Unmarshal(res2.Result, &body2); err != nil {
+		t.Fatal(err)
+	}
+	if body1["ler"] != body2["ler"] || body1["logical_errors"] != body2["logical_errors"] {
+		t.Fatalf("cache hit returned different numbers: %v vs %v", body1, body2)
+	}
+}
+
+func TestServerStreamDeliversInterimAndFinal(t *testing.T) {
+	srv, _ := newTestServer(t)
+	rr := submit(t, srv, `{
+	  "config": {"distance": 3, "cycles": 2, "p": 0.002, "shots": 512,
+	             "seed": 3, "policy": "always"},
+	  "precision": {"target_ci_half_width": 0.01, "min_shots": 128}
+	}`)
+	resp, err := http.Get(srv.URL + "/v1/stream?job=" + rr.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last Status
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("stream delivered no tallies")
+	}
+	if last.State != "done" {
+		t.Fatalf("stream ended in state %q, want done", last.State)
+	}
+	if last.CIHalfWidth > 0.01 {
+		t.Fatalf("final half-width %v above target", last.CIHalfWidth)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"policy":   `{"config": {"distance": 3, "p": 1e-3, "shots": 64, "policy": "nope"}}`,
+		"distance": `{"config": {"distance": 4, "p": 1e-3, "shots": 64, "policy": "eraser"}}`,
+		"json":     `{nope`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/result?job=j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestConfigSpecRoundTrip(t *testing.T) {
+	spec := ConfigSpec{Distance: 5, Cycles: 3, P: 1e-3, Shots: 100, Seed: 2,
+		Policy: "eraser+m", Protocol: "dqlr", Basis: "X", Transport: "exchange"}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Distance != 5 || cfg.Noise == nil || cfg.Noise.Transport != noise.TransportExchange {
+		t.Fatalf("spec resolved wrong: %+v", cfg)
+	}
+	if _, err := cfg.Key(); err != nil {
+		t.Fatal(err)
+	}
+}

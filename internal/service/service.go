@@ -1,0 +1,447 @@
+// Package service is the async job scheduler of the sweep orchestration
+// subsystem. It sits between callers (cmd/leakage, cmd/leakserved, the
+// figure harness) and the simulation engine: identical in-flight requests
+// are deduplicated, work is issued as 64-lane batch units fanned across a
+// bounded worker pool, finished units merge into the content-addressed
+// result store, and adaptive-precision requests keep issuing units until the
+// Wilson half-width on the logical error rate meets the target — so easy
+// points stop early and hard points get the budget. Because the store is
+// consulted before any unit runs, a warm-cache request executes zero
+// simulation units, and a request for higher precision extends the stored
+// tally instead of redoing it.
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+	"repro/internal/store"
+)
+
+// Precision is the adaptive shot-allocation target. The zero value means
+// fixed-count mode: run exactly the units needed to cover Config.Shots.
+type Precision struct {
+	// TargetCIHalfWidth is the Wilson 95% half-width on LER at which a point
+	// stops issuing units. <= 0 selects fixed-count mode.
+	TargetCIHalfWidth float64 `json:"target_ci_half_width,omitempty"`
+	// MinShots is the floor before the stopping rule is consulted (default
+	// two full units), so a lucky early half-width cannot end a point with
+	// meaningless statistics.
+	MinShots int `json:"min_shots,omitempty"`
+	// MaxShots caps the budget of a hard point (default 1<<20).
+	MaxShots int `json:"max_shots,omitempty"`
+}
+
+// Adaptive reports whether the precision selects CI-targeted allocation.
+func (p Precision) Adaptive() bool { return p.TargetCIHalfWidth > 0 }
+
+// DefaultMaxShots bounds adaptive points whose LER is too close to the
+// target half-width to ever satisfy it.
+const DefaultMaxShots = 1 << 20
+
+func (p Precision) bounds(unitShots int) (minShots, maxShots int) {
+	minShots = p.MinShots
+	if minShots <= 0 {
+		minShots = 2 * unitShots
+	}
+	maxShots = p.MaxShots
+	if maxShots <= 0 {
+		maxShots = DefaultMaxShots
+	}
+	if maxShots < minShots {
+		maxShots = minShots
+	}
+	return minShots, maxShots
+}
+
+// Scheduler owns the worker pool, the in-flight job table, and the store.
+type Scheduler struct {
+	store *store.Store
+	// sem is the worker-pool semaphore: at most cap(sem) units simulate at
+	// once across all jobs.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*Job
+	jobs     map[string]*Job
+	// finished is the completion-order FIFO behind the retention cap: a
+	// long-running server must not grow s.jobs without bound.
+	finished []string
+	nextID   int
+
+	// keyLocks stripes per-key work serialization over a fixed array —
+	// bounded memory under unbounded distinct keys, at the cost of
+	// occasional false sharing between keys on the same stripe.
+	keyLocks [64]sync.Mutex
+
+	units atomic.Int64
+}
+
+// maxRetainedJobs bounds how many completed jobs stay pollable; the oldest
+// are evicted first. In-flight jobs are never evicted.
+const maxRetainedJobs = 1024
+
+// New returns a scheduler over st with the given worker-pool width
+// (0 = GOMAXPROCS).
+func New(st *store.Store, workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		store:    st,
+		sem:      make(chan struct{}, workers),
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+	}
+}
+
+// Store returns the scheduler's backing store.
+func (s *Scheduler) Store() *store.Store { return s.store }
+
+// UnitsExecuted returns the total number of simulation units this scheduler
+// has run since construction. Warm-cache sweeps leave it unchanged — the
+// figure-level cache tests assert exactly that.
+func (s *Scheduler) UnitsExecuted() int64 { return s.units.Load() }
+
+// Job is one submitted experiment request.
+type Job struct {
+	// ID is the scheduler-scoped job handle; Key the config content address.
+	ID  string
+	Key string
+
+	cfg  experiment.Config
+	prec Precision
+	done chan struct{}
+
+	mu       sync.Mutex
+	tally    *experiment.Tally
+	result   *experiment.Result
+	err      error
+	unitsRun int
+}
+
+// Status is a point-in-time snapshot of a job, also the service's interim
+// wire format for streaming.
+type Status struct {
+	Job           string  `json:"job"`
+	Key           string  `json:"key"`
+	State         string  `json:"state"` // "running", "done" or "error"
+	Shots         int     `json:"shots"`
+	LogicalErrors int     `json:"logical_errors"`
+	LER           float64 `json:"ler"`
+	CIHalfWidth   float64 `json:"ci_half_width"`
+	UnitsExecuted int     `json:"units_executed"`
+	// Cached is true when the job completed without simulating any unit —
+	// the stored tally already satisfied the request.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Done is closed when the job completes (successfully or not).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the finished result. It blocks until the job completes.
+func (j *Job) Result() (experiment.Result, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return experiment.Result{}, j.err
+	}
+	return *j.result, nil
+}
+
+// Tally returns a copy of the job's latest merged tally (interim while
+// running, final once done), or nil before the first chunk lands.
+func (j *Job) Tally() *experiment.Tally {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.tally == nil {
+		return nil
+	}
+	return j.tally.Clone()
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{Job: j.ID, Key: j.Key, State: "running", UnitsExecuted: j.unitsRun}
+	if t := j.tally; t != nil {
+		st.Shots = t.Shots
+		st.LogicalErrors = t.LogicalErrors
+		if t.Shots > 0 {
+			st.LER = float64(t.LogicalErrors) / float64(t.Shots)
+		}
+		st.CIHalfWidth = t.HalfWidth(1.96)
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			st.State = "error"
+			st.Error = j.err.Error()
+		} else {
+			st.State = "done"
+			st.Cached = j.unitsRun == 0
+		}
+	default:
+	}
+	return st
+}
+
+func (j *Job) setTally(t *experiment.Tally) {
+	j.mu.Lock()
+	j.tally = t.Clone()
+	j.mu.Unlock()
+}
+
+func validate(cfg experiment.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+// Submit enqueues the request and returns its job. An identical request
+// (same config key, shot target and precision) already in flight is
+// deduplicated: the existing job is returned instead of scheduling new work.
+func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if !prec.Adaptive() && cfg.Shots <= 0 {
+		// A fixed-count request for zero shots would complete instantly as a
+		// misleading empty success (LER 0 from zero simulation).
+		return nil, fmt.Errorf("service: fixed-count request needs Shots > 0 (or set a precision target)")
+	}
+	key, err := cfg.Key()
+	if err != nil {
+		return nil, err
+	}
+	fp := fmt.Sprintf("%s|%d|%g|%d|%d", key, cfg.Shots,
+		prec.TargetCIHalfWidth, prec.MinShots, prec.MaxShots)
+	s.mu.Lock()
+	if j, ok := s.inflight[fp]; ok {
+		s.mu.Unlock()
+		return j, nil
+	}
+	s.nextID++
+	j := &Job{
+		ID:   fmt.Sprintf("j%d", s.nextID),
+		Key:  key,
+		cfg:  cfg,
+		prec: prec,
+		done: make(chan struct{}),
+	}
+	s.inflight[fp] = j
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	go s.execute(j, fp)
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Run submits the request and blocks until its result is available.
+func (s *Scheduler) Run(cfg experiment.Config, prec Precision) (experiment.Result, error) {
+	j, err := s.Submit(cfg, prec)
+	if err != nil {
+		return experiment.Result{}, err
+	}
+	return j.Result()
+}
+
+// Runner adapts the scheduler to the figure harness's Options.Runner hook:
+// every data point of a sweep is served through the store with the given
+// precision. Errors surface as panics, matching experiment.Run's contract
+// for invalid configs.
+func (s *Scheduler) Runner(prec Precision) func(experiment.Config) experiment.Result {
+	return func(cfg experiment.Config) experiment.Result {
+		res, err := s.Run(cfg, prec)
+		if err != nil {
+			panic(fmt.Sprintf("service: %v", err))
+		}
+		return res
+	}
+}
+
+func (s *Scheduler) keyLock(key string) *sync.Mutex {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &s.keyLocks[h.Sum64()%uint64(len(s.keyLocks))]
+}
+
+// execute drives one job to completion: consult the store, issue unit chunks
+// until the stopping rule fires, merge every chunk back into the store.
+func (s *Scheduler) execute(j *Job, fp string) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			j.err = fmt.Errorf("service: job %s: %v", j.ID, r)
+			j.mu.Unlock()
+		}
+		s.mu.Lock()
+		delete(s.inflight, fp)
+		s.finished = append(s.finished, j.ID)
+		for len(s.finished) > maxRetainedJobs {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+		s.mu.Unlock()
+		close(j.done)
+	}()
+
+	// Work on one key is serialized so concurrent jobs never compute
+	// overlapping units: the second job waits, re-reads the store, and
+	// usually finds its request already satisfied.
+	kl := s.keyLock(j.Key)
+	kl.Lock()
+	defer kl.Unlock()
+
+	cfg := j.cfg
+	tally := s.store.Get(j.Key)
+	if tally == nil {
+		tally = experiment.NewTally(cfg.NumRounds(), cfg.UnitShots())
+	}
+	j.setTally(tally)
+
+	for {
+		chunk := j.nextChunk(tally)
+		if chunk == 0 {
+			break
+		}
+		// Units fill as a prefix; clamp the chunk to the contiguous
+		// uncovered run so a merge can never overlap.
+		lo := tally.Covered.FirstGap(0)
+		hi := lo
+		for hi < lo+chunk && !tally.Covered.Contains(hi) {
+			hi++
+		}
+		delta, err := s.runChunk(cfg, lo, hi)
+		if err == nil {
+			err = tally.Merge(delta)
+		}
+		if err == nil {
+			_, err = s.store.Merge(j.Key, cfg.Describe(), delta)
+		}
+		if err != nil {
+			j.mu.Lock()
+			j.err = err
+			j.mu.Unlock()
+			return
+		}
+		s.units.Add(int64(hi - lo))
+		j.mu.Lock()
+		j.unitsRun += hi - lo
+		j.mu.Unlock()
+		j.setTally(tally)
+	}
+
+	res := tally.ResultFor(cfg)
+	j.mu.Lock()
+	j.result = &res
+	j.mu.Unlock()
+}
+
+// nextChunk applies the stopping rule to the current tally and returns how
+// many more units to issue (0 = done).
+func (j *Job) nextChunk(t *experiment.Tally) int {
+	us := t.UnitShots
+	if !j.prec.Adaptive() {
+		// Fixed-count mode: cover Config.Shots, reusing whatever the store
+		// already holds.
+		need := j.cfg.NumUnits()
+		if have := t.Covered.Count(); have < need {
+			return need - have
+		}
+		return 0
+	}
+	minShots, maxShots := j.prec.bounds(us)
+	if t.Shots >= maxShots {
+		return 0
+	}
+	if t.Shots >= minShots && t.HalfWidth(1.96) <= j.prec.TargetCIHalfWidth {
+		return 0
+	}
+	// Grow geometrically: reach MinShots first, then double coverage per
+	// round of refinement, clamped to MaxShots.
+	next := t.Shots
+	if t.Shots < minShots {
+		next = minShots - t.Shots
+	}
+	if next < us {
+		next = us
+	}
+	if t.Shots+next > maxShots {
+		next = maxShots - t.Shots
+	}
+	return (next + us - 1) / us
+}
+
+// runChunk simulates units [lo, hi), fanning contiguous subranges across the
+// worker pool, and returns their merged tally.
+func (s *Scheduler) runChunk(cfg experiment.Config, lo, hi int) (*experiment.Tally, error) {
+	cfg.Workers = 1 // parallelism comes from the pool, one unit stream per task
+	n := hi - lo
+	parts := cap(s.sem)
+	if parts > n {
+		parts = n
+	}
+	tallies := make([]*experiment.Tally, parts)
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		a := lo + i*n/parts
+		b := lo + (i+1)*n/parts
+		if a == b {
+			continue
+		}
+		wg.Add(1)
+		go func(i, a, b int) {
+			defer wg.Done()
+			// Convert simulation panics into job errors here, inside the
+			// pool goroutine — execute's recover cannot see them.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("service: units [%d, %d): %v", a, b, r)
+				}
+			}()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			tallies[i] = experiment.RunUnits(cfg, a, b)
+		}(i, a, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var total *experiment.Tally
+	for _, t := range tallies {
+		if t == nil {
+			continue
+		}
+		if total == nil {
+			total = t
+			continue
+		}
+		if err := total.Merge(t); err != nil {
+			return nil, err
+		}
+	}
+	if total == nil {
+		return nil, fmt.Errorf("service: empty chunk [%d, %d)", lo, hi)
+	}
+	return total, nil
+}

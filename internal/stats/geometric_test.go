@@ -26,6 +26,22 @@ func TestGeometricEdges(t *testing.T) {
 			t.Fatalf("Geometric(1e-300) = %d out of range", g)
 		}
 	}
+	// Non-finite probabilities fall on the same edges: -Inf never succeeds,
+	// +Inf succeeds immediately (NaN compares false on both guards and is a
+	// caller bug, so it is deliberately unspecified).
+	for i := 0; i < 10; i++ {
+		if g := r.Geometric(math.Inf(-1)); g != GeometricNever {
+			t.Fatalf("Geometric(-Inf) = %d, want GeometricNever", g)
+		}
+		if g := r.Geometric(math.Inf(1)); g != 0 {
+			t.Fatalf("Geometric(+Inf) = %d, want 0", g)
+		}
+	}
+	// GeometricNever leaves headroom so skip-offset arithmetic cannot
+	// overflow int.
+	if GeometricNever+GeometricNever < GeometricNever {
+		t.Fatal("GeometricNever + GeometricNever overflowed")
+	}
 }
 
 // TestGeometricMoments: the sample mean and variance match the geometric

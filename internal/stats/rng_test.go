@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -37,6 +38,47 @@ func TestRNGSplitDeterminism(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		if a.Uint64() != b.Uint64() {
 			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+// TestSplitStreamIndependence: children split off the same parent at
+// distinct indexes must behave as independent streams — no identical draws
+// beyond chance, bitwise half-distance on average, and no linear correlation
+// between their uniform outputs.
+func TestSplitStreamIndependence(t *testing.T) {
+	child := func(index uint64) *RNG { return NewRNG(9, 9).Split(index) }
+	pairs := [][2]uint64{{1, 2}, {0, 1}, {7, 1 << 40}}
+	for _, pr := range pairs {
+		a, b := child(pr[0]), child(pr[1])
+
+		const n = 4096
+		same, hamming := 0, 0
+		var sumA, sumB, sumAB, sumA2, sumB2 float64
+		for i := 0; i < n; i++ {
+			ua, ub := a.Uint64(), b.Uint64()
+			if ua == ub {
+				same++
+			}
+			hamming += bits.OnesCount64(ua ^ ub)
+			fa, fb := float64(ua>>11)/(1<<53), float64(ub>>11)/(1<<53)
+			sumA += fa
+			sumB += fb
+			sumAB += fa * fb
+			sumA2 += fa * fa
+			sumB2 += fb * fb
+		}
+		if same > 2 {
+			t.Fatalf("Split(%d)/Split(%d): %d/%d identical draws", pr[0], pr[1], same, n)
+		}
+		if mean := float64(hamming) / n; math.Abs(mean-32) > 1 {
+			t.Fatalf("Split(%d)/Split(%d): mean XOR popcount %v, want ~32", pr[0], pr[1], mean)
+		}
+		cov := sumAB/n - (sumA/n)*(sumB/n)
+		varA := sumA2/n - (sumA/n)*(sumA/n)
+		varB := sumB2/n - (sumB/n)*(sumB/n)
+		if corr := cov / math.Sqrt(varA*varB); math.Abs(corr) > 0.06 {
+			t.Fatalf("Split(%d)/Split(%d): correlation %v", pr[0], pr[1], corr)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+// Package store is the content-addressed result store of the sweep
+// orchestration subsystem. Entries are keyed by experiment.Config.Key — a
+// canonical hash of every config field that determines unit content — and
+// hold mergeable tallies (experiment.Tally) plus the set of covered unit
+// indexes. Because units are independently seeded, merging a new partial
+// tally into a stored one is exact: the store never recomputes, it only
+// extends. Entries persist to disk as one JSON file per key (atomic
+// write-then-rename), so warm-cache sweeps across process restarts run zero
+// simulation units.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/experiment"
+)
+
+// Entry is the persisted form of one store record.
+type Entry struct {
+	// Key is the content address (hex SHA-256 of the canonical config).
+	Key string `json:"key"`
+	// Desc is a human-readable config summary for debugging; it is metadata
+	// only and never parsed.
+	Desc string `json:"desc,omitempty"`
+	// Tally is the mergeable accumulation over the covered units.
+	Tally *experiment.Tally `json:"tally"`
+}
+
+// Store is a content-addressed tally store with an in-memory cache and
+// optional disk persistence. All methods are safe for concurrent use.
+type Store struct {
+	dir string // "" = memory-only
+
+	mu      sync.Mutex
+	entries map[string]*experiment.Tally
+	// missing caches keys known to be absent on disk so repeated cold Gets
+	// don't stat the filesystem.
+	missing map[string]bool
+}
+
+// Open returns a store rooted at dir, creating it if needed. An empty dir
+// yields a memory-only store (useful for tests and benchmarks).
+func Open(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		dir:     dir,
+		entries: make(map[string]*experiment.Tally),
+		missing: make(map[string]bool),
+	}, nil
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// load fetches key into the cache from disk; callers hold s.mu. A nil, nil
+// return is a definite miss; an error is a transient read failure that must
+// not be treated as absence.
+func (s *Store) load(key string) (*experiment.Tally, error) {
+	if t, ok := s.entries[key]; ok {
+		return t, nil
+	}
+	if s.dir == "" || s.missing[key] {
+		return nil, nil
+	}
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.missing[key] = true
+		return nil, nil
+	}
+	if err != nil {
+		// Transient failure (fd exhaustion, permissions): surface it rather
+		// than record a miss — a later Merge must not replace a richer
+		// persisted entry with a fresh delta-only tally.
+		return nil, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Tally == nil {
+		// A corrupt entry is treated as a miss: the service will recompute
+		// and overwrite it.
+		s.missing[key] = true
+		return nil, nil
+	}
+	s.entries[key] = e.Tally
+	return e.Tally, nil
+}
+
+// Get returns a copy of the tally stored under key, or nil when absent (or
+// momentarily unreadable — a subsequent Merge still refuses to clobber it).
+func (s *Store) Get(key string) *experiment.Tally {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.load(key)
+	if err != nil || t == nil {
+		return nil
+	}
+	return t.Clone()
+}
+
+// Merge folds delta into the tally stored under key (creating the entry when
+// absent), persists the result, and returns a copy of the merged tally. The
+// delta must cover units disjoint from the stored entry — callers serialize
+// work per key so this holds by construction.
+func (s *Store) Merge(key, desc string, delta *experiment.Tally) (*experiment.Tally, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Merge and persist on a copy; the cache only commits once both
+	// succeed, so a failed merge or full disk cannot leave memory claiming
+	// work the store will have forgotten after a restart.
+	var merged *experiment.Tally
+	cur, err := s.load(key)
+	if err != nil {
+		return nil, err
+	}
+	if cur == nil {
+		merged = delta.Clone()
+	} else {
+		merged = cur.Clone()
+		if err := merged.Merge(delta); err != nil {
+			return nil, fmt.Errorf("store: key %s: %w", key, err)
+		}
+	}
+	if s.dir != "" {
+		if err := s.persist(key, desc, merged); err != nil {
+			return nil, err
+		}
+	}
+	s.entries[key] = merged
+	delete(s.missing, key)
+	return merged.Clone(), nil
+}
+
+// persist writes the entry atomically (temp file + rename); callers hold s.mu.
+func (s *Store) persist(key, desc string, t *experiment.Tally) error {
+	data, err := json.Marshal(Entry{Key: key, Desc: desc, Tally: t})
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: rename %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists every key present in memory or on disk.
+func (s *Store) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(s.entries))
+	for k := range s.entries {
+		seen[k] = true
+	}
+	if s.dir != "" {
+		names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, n := range names {
+			base := filepath.Base(n)
+			seen[base[:len(base)-len(".json")]] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func storeCfg() experiment.Config {
+	return experiment.Config{Distance: 3, Cycles: 2, P: 2e-3, Shots: 3 * 64,
+		Seed: 5, Policy: core.PolicyAlways, Workers: 1}
+}
+
+func mustKey(t *testing.T, cfg experiment.Config) string {
+	t.Helper()
+	key, err := cfg.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestStoreMergeExtendsAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+
+	if s.Get(key) != nil {
+		t.Fatal("empty store returned a tally")
+	}
+	a := experiment.RunUnits(cfg, 0, 2)
+	if _, err := s.Merge(key, cfg.Describe(), a); err != nil {
+		t.Fatal(err)
+	}
+	b := experiment.RunUnits(cfg, 2, 3)
+	merged, err := s.Merge(key, cfg.Describe(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := experiment.RunUnits(cfg, 0, 3)
+	if !reflect.DeepEqual(full, merged) {
+		t.Fatalf("store merge != direct run:\nfull   %+v\nmerged %+v", full, merged)
+	}
+
+	// A fresh store over the same directory must serve the merged tally from
+	// disk — that is what makes warm-cache sweeps survive restarts.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Get(key); !reflect.DeepEqual(full, got) {
+		t.Fatalf("reloaded tally differs:\nwant %+v\ngot  %+v", full, got)
+	}
+	keys, err := s2.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys() = %v, want [%s]", keys, key)
+	}
+}
+
+func TestStoreRejectsOverlappingMerge(t *testing.T) {
+	s, err := Open("") // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+	if _, err := s.Merge(key, "", experiment.RunUnits(cfg, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merge(key, "", experiment.RunUnits(cfg, 1, 3)); err == nil {
+		t.Fatal("overlapping merge did not error")
+	}
+}
+
+func TestStoreGetReturnsCopy(t *testing.T) {
+	s, _ := Open("")
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+	if _, err := s.Merge(key, "", experiment.RunUnits(cfg, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Get(key)
+	got.LogicalErrors += 1000
+	got.Covered.Add(999)
+	if again := s.Get(key); again.LogicalErrors == got.LogicalErrors || again.Covered.Contains(999) {
+		t.Fatal("Get returned a live reference into the store")
+	}
+}
+
+func TestStoreCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(key) != nil {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// The service recomputes and overwrites; the store must allow that.
+	if _, err := s.Merge(key, "", experiment.RunUnits(cfg, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(key) == nil {
+		t.Fatal("overwritten entry not served")
+	}
+}
