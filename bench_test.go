@@ -14,6 +14,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/matching"
 	"repro/internal/noise"
@@ -392,6 +393,56 @@ func BenchmarkAblationMatcher(b *testing.B) {
 	}
 	b.ReportMetric(exact.Weight, "exact_weight")
 	b.ReportMetric(refined.Weight, "refined_weight")
+}
+
+// ------------------------------------------------- heterogeneity robustness
+
+// BenchmarkHeterogeneitySweep runs the device-heterogeneity robustness sweep
+// at laptop scale: all five policies against hotspot profiles at a few
+// factors. It doubles as the perf smoke for the site-indexed rate path — the
+// whole sweep runs through the rate-class batch samplers and the
+// profile-derived decoder priors.
+func BenchmarkHeterogeneitySweep(b *testing.B) {
+	o := benchOpts()
+	o.Distance = 3
+	o.Cycles = 2
+	o.Shots = 96
+	o.HotspotFactors = []float64{1, 4, 10}
+	o.HotspotQubits = 2
+	var s *experiment.HeterogeneitySweep
+	for i := 0; i < b.N; i++ {
+		s = experiment.Heterogeneity(o)
+	}
+	deg := s.Degradation()
+	b.ReportMetric(deg[2], "eraser_degradation_x")
+	b.ReportMetric(deg[1], "always_degradation_x")
+	last := len(s.Factors) - 1
+	b.ReportMetric(100*s.FNR[2][last], "eraser_FNR_pct_at_10x")
+}
+
+// BenchmarkBatchRoundD7Profile is BenchmarkBatchRoundD7 on a heterogeneous
+// drift profile: every qubit in its own rate class, so it bounds the cost of
+// per-site class lookups and ~200 extra geometric streams.
+func BenchmarkBatchRoundD7Profile(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	prof, err := device.Drift(7, 1e-3, 0.3, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := prof.Resolve(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := batch.New(l, noise.Standard(1e-3), surfacecode.KindZ)
+	s.UseRates(rates)
+	s.Reset(stats.NewRNG(1, 1))
+	builder := circuit.NewBuilder(l)
+	ops := builder.Round(circuit.Plan{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRound(ops)
+	}
 }
 
 // ------------------------------------------------- batch fast path vs scalar

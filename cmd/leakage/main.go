@@ -7,6 +7,8 @@
 //	leakage -exp fig16                   # speculation accuracy + Table 4
 //	leakage -exp fig17                   # Appendix A.1 transport model
 //	leakage -exp fig20                   # Appendix A.2 DQLR protocol
+//	leakage -exp hetero -csv out.csv     # heterogeneity robustness sweep
+//	leakage -exp fig14 -profile hotspot:1e-3,3,8   # any figure on a profile
 //	leakage -exp all -shots 2000         # everything
 //
 // Shot counts default to laptop scale; raise -shots toward the paper's 10M+
@@ -25,6 +27,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/noise"
 	"repro/internal/qudit"
@@ -35,7 +38,7 @@ import (
 // allExperiments is the expansion of -exp all, in presentation order.
 var allExperiments = []string{"eqs", "table2", "table2emp", "fig1c", "fig2c",
 	"fig5", "fig6", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"fig20", "fig21", "postselect", "latency"}
+	"fig20", "fig21", "hetero", "postselect", "latency"}
 
 // experimentNames lists every valid -exp value — the "all" set plus aliases
 // and the meta-name itself — and is what unknown names are rejected against,
@@ -71,6 +74,10 @@ func realMain() int {
 		targetCI  = flag.Float64("target-ci", 0, "adaptive precision: stop each point when the Wilson 95% half-width on LER reaches this (0 = fixed -shots; requires a runner, implies an in-memory store if -store is unset)")
 		minShots  = flag.Int("min-shots", 0, "adaptive precision floor per point (0 = service default)")
 		maxShots  = flag.Int("max-shots", 0, "adaptive precision budget cap per point (0 = service default)")
+		profile   = flag.String("profile", "", "device profile: a generator spec ("+device.GeneratorSpecs+") or a JSON profile file; every data point then runs on per-site calibrated rates")
+		hotspots  = flag.Int("hotspot-qubits", 0, "hetero sweep: number of hotspot data qubits (0 = default 3)")
+		csvOut    = flag.String("csv", "", "write the hetero sweep as CSV to this file")
+		jsonOut   = flag.String("json", "", "write the hetero sweep as JSON to this file")
 	)
 	flag.Parse()
 
@@ -83,14 +90,28 @@ func realMain() int {
 			usageExit("-distance: %v", err)
 		}
 	}
+	// Reject invalid physical error rates (NaN, negative, > 1) before any
+	// sweep runs instead of panicking mid-experiment.
+	if err := noise.Standard(*p).Validate(); err != nil {
+		usageExit("-p: %v", err)
+	}
+	var profSpec *device.Spec
+	if *profile != "" {
+		profSpec, err = device.ParseSpec(*profile)
+		if err != nil {
+			usageExit("-profile: %v", err)
+		}
+	}
 	opt := experiment.Options{
-		Shots:     *shots,
-		Seed:      *seed,
-		Workers:   *workers,
-		P:         *p,
-		Distances: ds,
-		Cycles:    *cycles,
-		Distance:  *distance,
+		Shots:         *shots,
+		Seed:          *seed,
+		Workers:       *workers,
+		P:             *p,
+		Distances:     ds,
+		Cycles:        *cycles,
+		Distance:      *distance,
+		Profile:       profSpec,
+		HotspotQubits: *hotspots,
 	}
 
 	if *storeDir != "" || *targetCI > 0 {
@@ -110,6 +131,8 @@ func realMain() int {
 			fmt.Printf("[store: %d simulation units executed this run]\n", sched.UnitsExecuted())
 		}()
 	}
+
+	exports := exportPaths{csv: *csvOut, json: *jsonOut}
 
 	names := strings.Split(*exp, ",")
 	for i, name := range names {
@@ -134,7 +157,7 @@ func realMain() int {
 	}
 	for _, name := range expanded {
 		start := time.Now()
-		if err := runExperiment(name, opt); err != nil {
+		if err := runExperiment(name, opt, exports); err != nil {
 			fmt.Fprintln(os.Stderr, "leakage:", err)
 			return 1
 		}
@@ -143,19 +166,25 @@ func realMain() int {
 	return 0
 }
 
+// exportPaths carries the -csv/-json destinations for the heterogeneity
+// sweep ("" = no export).
+type exportPaths struct {
+	csv, json string
+}
+
 // runExperiment converts runtime panics — service errors surfacing through
 // the store-backed Runner, invalid configs inside experiment.Run — into the
 // clean one-line error exit path instead of a goroutine dump.
-func runExperiment(name string, opt experiment.Options) (err error) {
+func runExperiment(name string, opt experiment.Options, exports exportPaths) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%s: %v", name, r)
 		}
 	}()
-	return run(name, opt)
+	return run(name, opt, exports)
 }
 
-func run(name string, opt experiment.Options) error {
+func run(name string, opt experiment.Options, exports exportPaths) error {
 	switch name {
 	case "eqs":
 		pl, plt := analytic.PLeakCNOT, analytic.PLeakTransport
@@ -226,6 +255,17 @@ func run(name string, opt experiment.Options) error {
 		rs := experiment.Figure15(opt)
 		rs.Title = "Figure 21: " + rs.Title + " (DQLR protocol)"
 		fmt.Print(rs)
+	case "hetero":
+		s := experiment.Heterogeneity(opt)
+		fmt.Print(s)
+		deg := s.Degradation()
+		for i, n := range s.Names {
+			fmt.Printf("%s degradation at %gx hotspots: %.1fx\n",
+				n, s.Factors[len(s.Factors)-1], deg[i])
+		}
+		if err := exportHetero(s, exports); err != nil {
+			return err
+		}
 	case "latency":
 		fmt.Println("Real-time scheduling constraint (Section 4.3 / Figure 12)")
 		for _, d := range []int{3, 5, 7, 9, 11} {
@@ -236,6 +276,29 @@ func run(name string, opt experiment.Options) error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// exportHetero writes the sweep to the -csv/-json destinations when set.
+func exportHetero(s *experiment.HeterogeneitySweep, exports exportPaths) error {
+	write := func(path string, fn func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("[hetero sweep written to %s]\n", path)
+		return f.Close()
+	}
+	if err := write(exports.csv, func(f *os.File) error { return s.WriteCSV(f) }); err != nil {
+		return err
+	}
+	return write(exports.json, func(f *os.File) error { return s.WriteJSON(f) })
 }
 
 func printStudy() {

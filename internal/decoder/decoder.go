@@ -30,6 +30,17 @@ type Config struct {
 	// qubit) and temporal (measurement) error mechanisms. The defaults are
 	// uniform weights, the standard choice for hardware MWPM decoders.
 	SpaceWeight, TimeWeight float64
+	// SpaceWeights, when non-nil, gives each space edge its own weight,
+	// indexed by the data qubit the edge represents; it overrides
+	// SpaceWeight. Device profiles install -log-likelihood priors here so
+	// the matcher prefers explanations through a device's noisy regions.
+	SpaceWeights []float64
+	// TimeWeights, when non-nil, gives each stabilizer its own time-edge
+	// weight, indexed by stabilizer index; it overrides TimeWeight. The time
+	// cost between two events is the mean of their stabilizers' weights per
+	// round of separation, which reduces exactly to TimeWeight*dt in the
+	// uniform case.
+	TimeWeights []float64
 }
 
 // DefaultConfig returns unit space/time weights.
@@ -58,6 +69,9 @@ type Decoder struct {
 	// cross[a][b] is 1 when the shortest path crosses the logical-Z support
 	// an odd number of times.
 	cross [][]uint8
+	// tw[a] is the time-edge weight of kind-ordinal a (uniformly
+	// cfg.TimeWeight unless cfg.TimeWeights is set).
+	tw []float64
 }
 
 // New builds the memory-Z decoder for a layout.
@@ -70,9 +84,21 @@ func New(l *surfacecode.Layout, cfg Config) *Decoder {
 // Z-type errors against the logical X).
 func NewForKind(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) *Decoder {
 	if cfg.SpaceWeight == 0 && cfg.TimeWeight == 0 {
-		cfg = DefaultConfig()
+		def := DefaultConfig()
+		cfg.SpaceWeight, cfg.TimeWeight = def.SpaceWeight, def.TimeWeight
 	}
 	d := &Decoder{cfg: cfg, layout: l, kind: kind, nz: l.NumKind(kind)}
+	d.tw = make([]float64, d.nz)
+	for i := range d.tw {
+		d.tw[i] = cfg.TimeWeight
+	}
+	if cfg.TimeWeights != nil {
+		for stab, w := range cfg.TimeWeights {
+			if ord := l.KindOrdinal(kind, stab); ord >= 0 {
+				d.tw[ord] = w
+			}
+		}
+	}
 	d.buildSpaceGraph()
 	return d
 }
@@ -98,6 +124,9 @@ func (d *Decoder) buildSpaceGraph() {
 			c = 1
 		}
 		w := d.cfg.SpaceWeight
+		if d.cfg.SpaceWeights != nil {
+			w = d.cfg.SpaceWeights[q]
+		}
 		adj[a] = append(adj[a], spaceEdge{b, w, c})
 		adj[b] = append(adj[b], spaceEdge{a, w, c})
 	}
@@ -180,7 +209,10 @@ func (d *Decoder) Decode(events []Event) uint8 {
 		if dt < 0 {
 			dt = -dt
 		}
-		return d.dist[a.Z][b.Z] + d.cfg.TimeWeight*float64(dt)
+		// Per-ordinal time weights, averaged over the pair; with uniform
+		// weights (w+w)/2 == w exactly, so this is bit-identical to the
+		// historical TimeWeight*dt cost.
+		return d.dist[a.Z][b.Z] + (d.tw[a.Z]+d.tw[b.Z])/2*float64(dt)
 	}
 	// Allocation-free fast paths for the one- and two-event shots that
 	// dominate at low physical error rates.

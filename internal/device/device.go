@@ -1,0 +1,650 @@
+// Package device models calibrated, heterogeneous hardware: a Profile holds
+// one noise rate per site — per-qubit depolarizing/leakage/seepage/multi-level
+// readout rates and per-coupler CNOT-depolarizing/leakage-transport rates —
+// instead of the paper's single scalar p for every qubit and coupler
+// (Section 5.2, Table 1). Profiles load and save as JSON, validate against
+// the lattice they are calibrated for, and come with synthetic generators
+// (Uniform, Hotspot, Gradient, Drift) modeling the heterogeneity patterns of
+// real superconducting devices: uniformly calibrated chips, hotspot qubits,
+// gradient-calibrated couplers and day-to-day drift.
+//
+// Engines consume a Profile through its Resolve()d Rates view, which adds the
+// canonical coupler index and the uniformity flag. A Uniform profile is
+// canonical: it resolves to exactly the scalar noise.Params model, produces
+// the same experiment.Config.Key and the same RNG streams as the profile-free
+// config, and therefore reproduces its results bit for bit on both simulation
+// engines. Heterogeneous profiles are content-hashed (Hash) into the config
+// key so stored tallies never alias across profiles.
+package device
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// Coupler is an unordered qubit pair that hosts two-qubit gates: every CNOT,
+// SWAP-LRC transfer and DQLR LeakageISWAP acts between a stabilizer's
+// ancilla and a data qubit in its support. A is always the ancilla, B the
+// data qubit.
+type Coupler struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// Couplers enumerates the layout's couplers in canonical order: stabilizers
+// in index order, each contributing one coupler per data qubit of its
+// support, in support order. Profile coupler arrays are indexed by this
+// order.
+func Couplers(l *surfacecode.Layout) []Coupler {
+	var cs []Coupler
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		for _, q := range s.Data {
+			cs = append(cs, Coupler{A: s.Ancilla, B: q})
+		}
+	}
+	return cs
+}
+
+// Profile is a per-site calibrated noise model for a distance-d device. The
+// per-qubit arrays are indexed by layout qubit id (data qubits first, then
+// ancillas); the per-coupler arrays by the canonical Couplers order. Base
+// carries the device-wide settings (transport model, leakage enable) and the
+// reference scalar rates the per-site arrays elaborate.
+type Profile struct {
+	// Name is a human-readable label ("hotspot:1e-3,3,8"); metadata only.
+	Name string `json:"name,omitempty"`
+	// Distance is the code distance the profile is calibrated for.
+	Distance int `json:"distance"`
+	// Base is the reference uniform model. Transport and LeakageEnabled are
+	// device-wide; the scalar rates are what a site carries when its array
+	// entry equals them (the Uniform() canonicalization compares against
+	// them).
+	Base noise.Params `json:"base"`
+	// P, PLeak, PSeep and PMultiLevelError are the per-qubit rates.
+	P                []float64 `json:"p"`
+	PLeak            []float64 `json:"p_leak"`
+	PSeep            []float64 `json:"p_seep"`
+	PMultiLevelError []float64 `json:"p_ml_error"`
+	// PCNOT is the per-coupler two-qubit depolarizing rate; PTransport the
+	// per-coupler leakage-transport probability.
+	PCNOT      []float64 `json:"p_cnot"`
+	PTransport []float64 `json:"p_transport"`
+}
+
+// FromParams returns the uniform profile equivalent to np on a distance-d
+// device: every qubit carries np's scalar rates, every coupler np.P and
+// np.PTransport.
+func FromParams(d int, np noise.Params) (*Profile, error) {
+	l, err := surfacecode.New(d)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	nq := l.NumQubits
+	nc := len(Couplers(l))
+	p := &Profile{
+		Name:             fmt.Sprintf("uniform:%g", np.P),
+		Distance:         d,
+		Base:             np,
+		P:                fill(nq, np.P),
+		PLeak:            fill(nq, np.PLeak),
+		PSeep:            fill(nq, np.PSeep),
+		PMultiLevelError: fill(nq, np.PMultiLevelError),
+		PCNOT:            fill(nc, np.P),
+		PTransport:       fill(nc, np.PTransport),
+	}
+	return p, nil
+}
+
+func fill(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// Uniform returns the paper's standard model at physical error rate p as a
+// (trivially uniform) profile. It reduces bit-exactly to the profile-free
+// scalar-Params path.
+func Uniform(d int, p float64) (*Profile, error) {
+	return FromParams(d, noise.Standard(p))
+}
+
+// HotspotParams returns a profile with k "hotspot" data qubits whose local
+// rates — depolarizing, leakage injection and multi-level readout error, plus
+// the CNOT-depolarizing rate of every incident coupler — are factor times the
+// base. Seepage and transport stay at the base rate, so hotspots are leakier
+// without their leakage also dying faster. The hotspots are spread
+// deterministically over the data-qubit grid (evenly strided ids), so a given
+// (d, k) always marks the same sites. factor = 1 yields a uniform profile.
+func HotspotParams(d int, np noise.Params, k int, factor float64) (*Profile, error) {
+	p, err := FromParams(d, np)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("device: hotspot count %d is negative", k)
+	}
+	if factor < 0 {
+		return nil, fmt.Errorf("device: hotspot factor %g is negative", factor)
+	}
+	l := surfacecode.MustNew(d)
+	if k > l.NumData {
+		k = l.NumData
+	}
+	p.Name = fmt.Sprintf("hotspot:%g,%d,%g", np.P, k, factor)
+	hot := make([]bool, l.NumQubits)
+	for i := 0; i < k; i++ {
+		hot[i*l.NumData/k] = true
+	}
+	for q := range p.P {
+		if !hot[q] {
+			continue
+		}
+		p.P[q] = capProb(p.P[q] * factor)
+		p.PLeak[q] = capProb(p.PLeak[q] * factor)
+		p.PMultiLevelError[q] = capProb(p.PMultiLevelError[q] * factor)
+	}
+	for i, c := range Couplers(l) {
+		if hot[c.A] || hot[c.B] {
+			p.PCNOT[i] = capProb(p.PCNOT[i] * factor)
+		}
+	}
+	return p, nil
+}
+
+// Hotspot is HotspotParams over the paper's standard model at rate p.
+func Hotspot(d int, p float64, k int, factor float64) (*Profile, error) {
+	return HotspotParams(d, noise.Standard(p), k, factor)
+}
+
+// GradientParams returns a profile whose rates ramp linearly across the
+// lattice columns, modeling a gradient-calibrated chip: the leftmost column
+// runs at 2/(1+ratio) times base, the rightmost at 2*ratio/(1+ratio) times,
+// so the worst-to-best ratio is exactly ratio and the lattice-average scale
+// is 1. Depolarizing, leakage-injection, multi-level and coupler CNOT rates
+// ramp; seepage and transport stay at base. ratio = 1 yields a uniform
+// profile.
+func GradientParams(d int, np noise.Params, ratio float64) (*Profile, error) {
+	if ratio <= 0 {
+		return nil, fmt.Errorf("device: gradient ratio %g must be positive", ratio)
+	}
+	p, err := FromParams(d, np)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = fmt.Sprintf("gradient:%g,%g", np.P, ratio)
+	l := surfacecode.MustNew(d)
+	lo := 2 / (1 + ratio)
+	hi := 2 * ratio / (1 + ratio)
+	// Horizontal position of each qubit in [0, 1]: data qubits sit on grid
+	// columns, ancillas at their plaquette center (between columns j-1 and j).
+	pos := make([]float64, l.NumQubits)
+	for q := 0; q < l.NumData; q++ {
+		pos[q] = float64(l.DataCol[q]) / float64(d-1)
+	}
+	for i := range l.Stabilizers {
+		s := &l.Stabilizers[i]
+		u := (float64(s.Col) - 0.5) / float64(d-1)
+		pos[s.Ancilla] = math.Min(1, math.Max(0, u))
+	}
+	scale := func(u float64) float64 { return lo + (hi-lo)*u }
+	for q := range p.P {
+		sc := scale(pos[q])
+		p.P[q] = capProb(p.P[q] * sc)
+		p.PLeak[q] = capProb(p.PLeak[q] * sc)
+		p.PMultiLevelError[q] = capProb(p.PMultiLevelError[q] * sc)
+	}
+	for i, c := range Couplers(l) {
+		sc := scale((pos[c.A] + pos[c.B]) / 2)
+		p.PCNOT[i] = capProb(p.PCNOT[i] * sc)
+	}
+	return p, nil
+}
+
+// Gradient is GradientParams over the paper's standard model at rate p.
+func Gradient(d int, p float64, ratio float64) (*Profile, error) {
+	return GradientParams(d, noise.Standard(p), ratio)
+}
+
+// DriftParams returns a profile with independent lognormal jitter on every
+// site, modeling day-to-day calibration drift: each qubit and coupler rate is
+// base times exp(sigma*Z) with Z standard normal, drawn from a deterministic
+// stream seeded by seed. sigma = 0 yields a uniform profile.
+func DriftParams(d int, np noise.Params, sigma float64, seed uint64) (*Profile, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("device: drift sigma %g is negative", sigma)
+	}
+	p, err := FromParams(d, np)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = fmt.Sprintf("drift:%g,%g,%d", np.P, sigma, seed)
+	if sigma == 0 {
+		return p, nil
+	}
+	rng := stats.NewRNG(seed, 0xDE71CE)
+	jitter := func() float64 { return math.Exp(sigma * normal(rng)) }
+	for q := range p.P {
+		j := jitter()
+		p.P[q] = capProb(p.P[q] * j)
+		p.PLeak[q] = capProb(p.PLeak[q] * j)
+		p.PMultiLevelError[q] = capProb(p.PMultiLevelError[q] * j)
+	}
+	for i := range p.PCNOT {
+		p.PCNOT[i] = capProb(p.PCNOT[i] * jitter())
+	}
+	return p, nil
+}
+
+// Drift is DriftParams over the paper's standard model at rate p.
+func Drift(d int, p float64, sigma float64, seed uint64) (*Profile, error) {
+	return DriftParams(d, noise.Standard(p), sigma, seed)
+}
+
+// normal draws a standard normal via Box-Muller (stats.RNG exposes only
+// uniform primitives).
+func normal(rng *stats.RNG) float64 {
+	u := 1 - rng.Float64() // (0, 1]
+	v := rng.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+func capProb(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Validate checks the profile's shape and rates: array lengths must match
+// the distance-d layout, and every rate must be a probability (no NaN, no
+// negatives, nothing above 1). Base is validated with the same rules.
+func (p *Profile) Validate() error {
+	l, err := surfacecode.New(p.Distance)
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	if err := p.Base.Validate(); err != nil {
+		return fmt.Errorf("device: base: %w", err)
+	}
+	nc := len(Couplers(l))
+	for _, a := range []struct {
+		name string
+		arr  []float64
+		want int
+	}{
+		{"p", p.P, l.NumQubits},
+		{"p_leak", p.PLeak, l.NumQubits},
+		{"p_seep", p.PSeep, l.NumQubits},
+		{"p_ml_error", p.PMultiLevelError, l.NumQubits},
+		{"p_cnot", p.PCNOT, nc},
+		{"p_transport", p.PTransport, nc},
+	} {
+		if len(a.arr) != a.want {
+			return fmt.Errorf("device: %s has %d entries, want %d for d=%d",
+				a.name, len(a.arr), a.want, p.Distance)
+		}
+		for i, v := range a.arr {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("device: %s[%d] = %g is not a probability", a.name, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Uniform reports whether every site rate equals the corresponding Base
+// scalar. Uniform profiles are canonicalized away: they key, stream and
+// simulate exactly like the profile-free scalar model.
+func (p *Profile) Uniform() bool {
+	eq := func(arr []float64, v float64) bool {
+		for _, x := range arr {
+			if x != v {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(p.P, p.Base.P) &&
+		eq(p.PLeak, p.Base.PLeak) &&
+		eq(p.PSeep, p.Base.PSeep) &&
+		eq(p.PMultiLevelError, p.Base.PMultiLevelError) &&
+		eq(p.PCNOT, p.Base.P) &&
+		eq(p.PTransport, p.Base.PTransport)
+}
+
+// Hash returns the profile's content address: a SHA-256 over the distance,
+// the device-wide settings and the exact Float64bits image of every site
+// rate. Experiment keys and RNG streams incorporate it for heterogeneous
+// profiles, so stored tallies never alias across profiles. Name is metadata
+// and does not participate.
+func (p *Profile) Hash() [32]byte {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	put(1) // profile hash schema version
+	put(uint64(p.Distance))
+	put(uint64(p.Base.Transport))
+	if p.Base.LeakageEnabled {
+		put(1)
+	} else {
+		put(0)
+	}
+	for _, v := range []float64{p.Base.P, p.Base.PLeak, p.Base.PSeep,
+		p.Base.PTransport, p.Base.PMultiLevelError} {
+		put(math.Float64bits(v))
+	}
+	for _, arr := range [][]float64{p.P, p.PLeak, p.PSeep, p.PMultiLevelError,
+		p.PCNOT, p.PTransport} {
+		put(uint64(len(arr)))
+		for _, v := range arr {
+			put(math.Float64bits(v))
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashHex returns Hash as a hex string (store descriptions, logs).
+func (p *Profile) HashHex() string {
+	sum := p.Hash()
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// WriteJSON serializes the profile.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Save writes the profile to path as JSON.
+func (p *Profile) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("device: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes and validates a profile.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("device: decode profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and validates a profile from a JSON file.
+func Load(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	defer f.Close()
+	p, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ------------------------------------------------------------------ Rates --
+
+// Rates is the resolved, engine-facing view of a profile: the site arrays
+// plus a dense coupler lookup and the uniformity flag. It is immutable after
+// Resolve and safe to share across workers.
+type Rates struct {
+	// Base mirrors Profile.Base; engines read Transport and LeakageEnabled
+	// from it, and it backs the fallback for qubit pairs outside the coupler
+	// set (which the circuit builder never emits — the fallback is defensive).
+	Base noise.Params
+	// Uniform mirrors Profile.Uniform at resolve time.
+	Uniform bool
+
+	// Per-qubit rates, indexed by qubit id.
+	QP, QLeak, QSeep, QML []float64
+	// Per-coupler rates, indexed by canonical coupler order.
+	CDepol, CTransport []float64
+
+	nq   int
+	cidx []int32 // min(a,b)*nq + max(a,b) -> coupler index, -1 when absent
+}
+
+// Resolve validates the profile against the layout and builds the engine
+// view.
+func (p *Profile) Resolve(l *surfacecode.Layout) (*Rates, error) {
+	if p.Distance != l.Distance {
+		return nil, fmt.Errorf("device: profile is calibrated for d=%d, layout is d=%d",
+			p.Distance, l.Distance)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cs := Couplers(l)
+	r := &Rates{
+		Base:       p.Base,
+		Uniform:    p.Uniform(),
+		QP:         p.P,
+		QLeak:      p.PLeak,
+		QSeep:      p.PSeep,
+		QML:        p.PMultiLevelError,
+		CDepol:     p.PCNOT,
+		CTransport: p.PTransport,
+		nq:         l.NumQubits,
+	}
+	r.cidx = make([]int32, l.NumQubits*l.NumQubits)
+	for i := range r.cidx {
+		r.cidx[i] = -1
+	}
+	for i, c := range cs {
+		a, b := c.A, c.B
+		if a > b {
+			a, b = b, a
+		}
+		r.cidx[a*r.nq+b] = int32(i)
+	}
+	return r, nil
+}
+
+// CouplerIndex returns the canonical index of the coupler between a and b,
+// or -1 when the pair is not a coupler of the layout.
+func (r *Rates) CouplerIndex(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return int(r.cidx[a*r.nq+b])
+}
+
+// GateP returns the two-qubit depolarizing rate of the (a, b) coupler,
+// falling back to the base scalar for non-coupler pairs.
+func (r *Rates) GateP(a, b int) float64 {
+	if i := r.CouplerIndex(a, b); i >= 0 {
+		return r.CDepol[i]
+	}
+	return r.Base.P
+}
+
+// TransportP returns the leakage-transport probability of the (a, b)
+// coupler, falling back to the base scalar for non-coupler pairs.
+func (r *Rates) TransportP(a, b int) float64 {
+	if i := r.CouplerIndex(a, b); i >= 0 {
+		return r.CTransport[i]
+	}
+	return r.Base.PTransport
+}
+
+// DecoderPriors derives MWPM matching weights from the local rates: a space
+// weight per data qubit (the matching-graph edge that qubit's errors flip)
+// and a time weight per stabilizer (its measurement-error edge), each the
+// log-likelihood prior ln((1-p)/p) of the local rate, jointly normalized so
+// the mean space weight is 1 (MWPM is invariant under a global scale; the
+// normalization keeps the numbers comparable to the default unit weights).
+// Sites with higher local rates get cheaper edges, so the matcher prefers
+// explanations through the device's bad regions.
+func (r *Rates) DecoderPriors(l *surfacecode.Layout) (space, timeW []float64) {
+	space = make([]float64, l.NumData)
+	for q := range space {
+		space[q] = logPrior(r.QP[q])
+	}
+	timeW = make([]float64, len(l.Stabilizers))
+	for i := range l.Stabilizers {
+		timeW[i] = logPrior(r.QP[l.Stabilizers[i].Ancilla])
+	}
+	mean := 0.0
+	for _, w := range space {
+		mean += w
+	}
+	mean /= float64(len(space))
+	if mean <= 0 {
+		return space, timeW // degenerate (all rates >= 0.5); leave unscaled
+	}
+	for q := range space {
+		space[q] /= mean
+	}
+	for i := range timeW {
+		timeW[i] /= mean
+	}
+	return space, timeW
+}
+
+// logPrior is ln((1-p)/p) with p clamped to keep the weight positive and
+// finite: rates at or above 1/2 carry the minimum weight, rates at 0 the
+// weight of 1e-12.
+func logPrior(p float64) float64 {
+	const minP, minW = 1e-12, 1e-3
+	if p < minP {
+		p = minP
+	}
+	w := math.Log((1 - p) / p)
+	if w < minW {
+		w = minW
+	}
+	return w
+}
+
+// ------------------------------------------------------------------- Spec --
+
+// Spec is a parsed profile source: either a synthetic generator
+// ("hotspot:1e-3,3,8") instantiable at any distance, or a JSON profile file
+// bound to its calibrated distance. The figure harness resolves one Spec per
+// swept distance.
+type Spec struct {
+	raw  string
+	gen  string // "", "uniform", "hotspot", "gradient" or "drift"
+	args []float64
+	file string
+}
+
+// GeneratorSpecs documents the accepted generator spellings.
+const GeneratorSpecs = "uniform:P | hotspot:P,K,FACTOR | gradient:P,RATIO | drift:P,SIGMA,SEED"
+
+// ParseSpec parses a profile source: a generator spec (see GeneratorSpecs)
+// or, when the string matches no generator name, a JSON file path.
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("device: empty profile spec")
+	}
+	name, rest, ok := strings.Cut(s, ":")
+	wantArgs := map[string]int{"uniform": 1, "hotspot": 3, "gradient": 2, "drift": 3}
+	n, isGen := wantArgs[strings.ToLower(name)]
+	if !ok || !isGen {
+		return &Spec{raw: s, file: s}, nil
+	}
+	sp := &Spec{raw: s, gen: strings.ToLower(name)}
+	for _, part := range strings.Split(rest, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("device: spec %q: bad argument %q: %v", s, part, err)
+		}
+		sp.args = append(sp.args, v)
+	}
+	if len(sp.args) != n {
+		return nil, fmt.Errorf("device: spec %q: %s takes %d arguments, got %d (valid: %s)",
+			s, sp.gen, n, len(sp.args), GeneratorSpecs)
+	}
+	return sp, nil
+}
+
+// String returns the original spec text.
+func (sp *Spec) String() string { return sp.raw }
+
+// Generator reports whether the spec is a synthetic generator (as opposed to
+// a profile file reference). Network front ends only accept generators —
+// file specs would let a request read server-local paths.
+func (sp *Spec) Generator() bool { return sp.gen != "" }
+
+// For instantiates the spec at distance d. Generator specs build their
+// profile over the paper's standard model at the spec's rate, using the
+// given transport model; file specs load the file and require both its
+// calibrated distance and its stored transport model to match — silently
+// substituting the file's model would let an exchange-transport figure run
+// (and be labeled) with the wrong leakage dynamics.
+func (sp *Spec) For(d int, transport noise.TransportModel) (*Profile, error) {
+	if sp.file != "" {
+		p, err := Load(sp.file)
+		if err != nil {
+			return nil, err
+		}
+		if p.Distance != d {
+			return nil, fmt.Errorf("device: profile %s is calibrated for d=%d, requested d=%d",
+				sp.file, p.Distance, d)
+		}
+		if p.Base.Transport != transport {
+			return nil, fmt.Errorf("device: profile %s uses %s transport, experiment requests %s",
+				sp.file, p.Base.Transport, transport)
+		}
+		return p, nil
+	}
+	base := noise.Standard(sp.args[0]).WithTransport(transport)
+	switch sp.gen {
+	case "uniform":
+		return FromParams(d, base)
+	case "hotspot":
+		k := int(sp.args[1])
+		if float64(k) != sp.args[1] || k < 0 {
+			return nil, fmt.Errorf("device: spec %q: hotspot count %g is not a non-negative integer",
+				sp.raw, sp.args[1])
+		}
+		return HotspotParams(d, base, k, sp.args[2])
+	case "gradient":
+		return GradientParams(d, base, sp.args[1])
+	case "drift":
+		seed := uint64(sp.args[2])
+		if float64(seed) != sp.args[2] {
+			return nil, fmt.Errorf("device: spec %q: drift seed %g is not a non-negative integer",
+				sp.raw, sp.args[2])
+		}
+		return DriftParams(d, base, sp.args[1], seed)
+	}
+	return nil, fmt.Errorf("device: unknown generator %q", sp.gen)
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/noise"
 )
 
@@ -33,6 +34,15 @@ type Options struct {
 	Transport noise.TransportModel
 	// Protocol selects SWAP LRCs or DQLR.
 	Protocol circuit.Protocol
+	// Profile, when non-nil, runs every data point on a device profile from
+	// this source: generator specs re-instantiate per swept distance, file
+	// specs require their calibrated distance to match. The heterogeneity
+	// sweep ignores it (it generates its own hotspot profiles).
+	Profile *device.Spec
+	// HotspotQubits and HotspotFactors parameterize the heterogeneity sweep
+	// (defaults: 3 hotspot qubits, factors 1..10).
+	HotspotQubits  int
+	HotspotFactors []float64
 	// Runner, when non-nil, replaces direct experiment.Run calls for every
 	// data point of every figure sweep. cmd/leakage installs a store-backed
 	// runner here so warm-cache sweeps are served from persisted tallies and
@@ -73,7 +83,7 @@ func (o Options) filled(defaultDistance int) Options {
 
 func (o Options) config(d, cycles int, k core.Kind) Config {
 	np := noise.Standard(o.P).WithTransport(o.Transport)
-	return Config{
+	cfg := Config{
 		Distance: d,
 		Cycles:   cycles,
 		P:        o.P,
@@ -84,6 +94,14 @@ func (o Options) config(d, cycles int, k core.Kind) Config {
 		Protocol: o.Protocol,
 		Workers:  o.Workers,
 	}
+	if o.Profile != nil {
+		prof, err := o.Profile.For(d, o.Transport)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: profile %s: %v", o.Profile, err))
+		}
+		cfg.Profile = prof
+	}
+	return cfg
 }
 
 // ------------------------------------------------------------- LER/cycle --
@@ -160,6 +178,10 @@ func Figure2c(o Options) *CycleSeries {
 			if i == 0 {
 				np := noise.WithoutLeakage(o.P)
 				cfg.Noise = &np
+				// The no-leakage baseline is the uniform model by
+				// definition; Profile would take precedence over Noise and
+				// re-enable leakage.
+				cfg.Profile = nil
 			}
 		})
 }

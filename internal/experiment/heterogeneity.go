@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/noise"
+)
+
+// HeterogeneitySweep is the device-heterogeneity robustness dataset: every
+// policy's logical error rate, leakage population and ERASER speculation
+// quality (FPR/FNR) as a function of the hotspot factor — how much worse a
+// handful of hotspot qubits run than the rest of the device. The paper only
+// ever evaluated ERASER at uniform rates; the factor-1 endpoint of this
+// sweep is exactly that uniform model (bit-identical to the profile-free
+// Figure 14 configuration at matched seeds), and the higher factors measure
+// how gracefully each policy degrades on a realistic, heterogeneous chip.
+type HeterogeneitySweep struct {
+	Title    string
+	Distance int
+	P        float64
+	// Hotspots is the number of hotspot data qubits; Factors the swept
+	// rate multipliers (1 = uniform).
+	Hotspots int
+	Factors  []float64
+	Names    []string
+	// Per [policy][factor] metrics.
+	LER, LERLow, LERHigh [][]float64
+	MeanLPR              [][]float64
+	LRCsPerRound         [][]float64
+	Accuracy             [][]float64 // fraction of correct LRC decisions
+	FPR, FNR             [][]float64
+}
+
+// heterogeneityPolicies is the sweep's fixed policy set: all five schedulers.
+var heterogeneityPolicies = []struct {
+	kind core.Kind
+	name string
+}{
+	{core.PolicyNone, "No-LRCs"},
+	{core.PolicyAlways, "Always-LRCs"},
+	{core.PolicyEraser, "ERASER"},
+	{core.PolicyEraserM, "ERASER+M"},
+	{core.PolicyOptimal, "Optimal"},
+}
+
+// Heterogeneity runs the robustness sweep: for each hotspot factor it builds
+// a Hotspot device profile (o.HotspotQubits hot data qubits, rates scaled by
+// the factor) and runs all five policies against it. Defaults: d=5, 3
+// hotspot qubits, factors 1x through 10x. o.Profile is ignored — the sweep
+// generates its own profiles.
+func Heterogeneity(o Options) *HeterogeneitySweep {
+	o = o.filled(5)
+	if o.HotspotQubits == 0 {
+		o.HotspotQubits = 3
+	}
+	if len(o.HotspotFactors) == 0 {
+		o.HotspotFactors = []float64{1, 2, 4, 6, 8, 10}
+	}
+	s := &HeterogeneitySweep{
+		Title:    "Heterogeneity sweep: policy robustness vs hotspot factor",
+		Distance: o.Distance,
+		P:        o.P,
+		Hotspots: o.HotspotQubits,
+		Factors:  o.HotspotFactors,
+	}
+	base := noise.Standard(o.P).WithTransport(o.Transport)
+	for _, pol := range heterogeneityPolicies {
+		s.Names = append(s.Names, pol.name)
+		var ler, lo, hi, lpr, lrcs, acc, fpr, fnr []float64
+		for _, factor := range s.Factors {
+			prof, err := device.HotspotParams(o.Distance, base, s.Hotspots, factor)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: heterogeneity: %v", err))
+			}
+			cfg := Config{
+				Distance: o.Distance,
+				Cycles:   o.Cycles,
+				P:        o.P,
+				Profile:  prof,
+				Shots:    o.Shots,
+				Seed:     o.Seed,
+				Policy:   pol.kind,
+				Protocol: o.Protocol,
+				Workers:  o.Workers,
+			}
+			res := o.run(cfg)
+			ler = append(ler, res.LER)
+			lo = append(lo, res.LERLow)
+			hi = append(hi, res.LERHigh)
+			lpr = append(lpr, res.MeanLPR())
+			lrcs = append(lrcs, res.LRCsPerRound)
+			acc = append(acc, res.Accuracy())
+			fpr = append(fpr, res.FPR())
+			fnr = append(fnr, res.FNR())
+		}
+		s.LER = append(s.LER, ler)
+		s.LERLow = append(s.LERLow, lo)
+		s.LERHigh = append(s.LERHigh, hi)
+		s.MeanLPR = append(s.MeanLPR, lpr)
+		s.LRCsPerRound = append(s.LRCsPerRound, lrcs)
+		s.Accuracy = append(s.Accuracy, acc)
+		s.FPR = append(s.FPR, fpr)
+		s.FNR = append(s.FNR, fnr)
+	}
+	return s
+}
+
+// Degradation returns, per policy, the ratio of the last factor's LER to the
+// uniform endpoint's — how many times worse the policy gets on the most
+// heterogeneous device of the sweep (0 when the uniform LER is 0).
+func (s *HeterogeneitySweep) Degradation() []float64 {
+	out := make([]float64, len(s.Names))
+	for p := range s.Names {
+		last := len(s.Factors) - 1
+		if s.LER[p][0] > 0 {
+			out[p] = s.LER[p][last] / s.LER[p][0]
+		}
+	}
+	return out
+}
+
+// String renders the sweep: LER per factor for every policy, then the
+// speculation-quality decomposition for the adaptive policies.
+func (s *HeterogeneitySweep) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (d=%d, p=%.0e, %d hotspot qubits)\n",
+		s.Title, s.Distance, s.P, s.Hotspots)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "factor")
+	for _, n := range s.Names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+	for i, f := range s.Factors {
+		fmt.Fprintf(w, "%gx", f)
+		for p := range s.Names {
+			fmt.Fprintf(w, "\t%.2e", s.LER[p][i])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	b.WriteString("speculation quality (FPR% / FNR%):\n")
+	w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "factor")
+	for _, n := range s.Names {
+		fmt.Fprintf(w, "\t%s", n)
+	}
+	fmt.Fprintln(w)
+	for i, f := range s.Factors {
+		fmt.Fprintf(w, "%gx", f)
+		for p := range s.Names {
+			fmt.Fprintf(w, "\t%.2f/%.1f", 100*s.FPR[p][i], 100*s.FNR[p][i])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WriteCSV writes the sweep as CSV: one row per factor, per-policy column
+// groups (ler, lo, hi, lpr, lrcs, accuracy, fpr, fnr).
+func (s *HeterogeneitySweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"factor"}
+	for _, n := range s.Names {
+		header = append(header, n+"_ler", n+"_lo", n+"_hi", n+"_lpr",
+			n+"_lrcs_per_round", n+"_accuracy", n+"_fpr", n+"_fnr")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, f := range s.Factors {
+		row := []string{strconv.FormatFloat(f, 'g', -1, 64)}
+		for p := range s.Names {
+			row = append(row,
+				formatFloat(s.LER[p][i]),
+				formatFloat(s.LERLow[p][i]),
+				formatFloat(s.LERHigh[p][i]),
+				formatFloat(s.MeanLPR[p][i]),
+				formatFloat(s.LRCsPerRound[p][i]),
+				formatFloat(s.Accuracy[p][i]),
+				formatFloat(s.FPR[p][i]),
+				formatFloat(s.FNR[p][i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// heterogeneityJSON mirrors WriteCSV's columns.
+type heterogeneityJSON struct {
+	Title    string                `json:"title"`
+	Distance int                   `json:"distance"`
+	P        float64               `json:"p"`
+	Hotspots int                   `json:"hotspots"`
+	Factors  []float64             `json:"factors"`
+	Series   []heterogeneitySeries `json:"series"`
+}
+
+type heterogeneitySeries struct {
+	Name         string    `json:"name"`
+	LER          []float64 `json:"ler"`
+	LERLow       []float64 `json:"ler_lo"`
+	LERHigh      []float64 `json:"ler_hi"`
+	MeanLPR      []float64 `json:"mean_lpr"`
+	LRCsPerRound []float64 `json:"lrcs_per_round"`
+	Accuracy     []float64 `json:"accuracy"`
+	FPR          []float64 `json:"fpr"`
+	FNR          []float64 `json:"fnr"`
+}
+
+// WriteJSON writes the sweep as JSON, mirroring WriteCSV.
+func (s *HeterogeneitySweep) WriteJSON(w io.Writer) error {
+	out := heterogeneityJSON{
+		Title:    s.Title,
+		Distance: s.Distance,
+		P:        s.P,
+		Hotspots: s.Hotspots,
+		Factors:  s.Factors,
+	}
+	for p, n := range s.Names {
+		out.Series = append(out.Series, heterogeneitySeries{
+			Name:         n,
+			LER:          s.LER[p],
+			LERLow:       s.LERLow[p],
+			LERHigh:      s.LERHigh[p],
+			MeanLPR:      s.MeanLPR[p],
+			LRCsPerRound: s.LRCsPerRound[p],
+			Accuracy:     s.Accuracy[p],
+			FPR:          s.FPR[p],
+			FNR:          s.FNR[p],
+		})
+	}
+	return writeJSON(w, out)
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunPostSelectionZeroShots: a zero-shot *run* (not just the zero-value
+// struct, which extensions_test covers) must produce well-defined (zero)
+// rates instead of dividing by zero.
+func TestRunPostSelectionZeroShots(t *testing.T) {
+	ps := RunPostSelection(Config{Distance: 3, Cycles: 1, P: 1e-3, Shots: 0, Seed: 1}, 2, 2)
+	if ps.Shots != 0 || ps.Kept != 0 {
+		t.Fatalf("zero-shot run counted shots: %+v", ps)
+	}
+	if ps.LERAll() != 0 || ps.LERKept() != 0 || ps.DiscardFraction() != 0 {
+		t.Errorf("zero-shot rates not zero: all=%v kept=%v discard=%v",
+			ps.LERAll(), ps.LERKept(), ps.DiscardFraction())
+	}
+	if s := ps.String(); !strings.Contains(s, "shots 0") {
+		t.Errorf("String() broke on the empty run:\n%s", s)
+	}
+}
+
+// TestPostSelectionAllShotsDiscarded: with flips = 0 every round trips the
+// detector on every qubit, so window = 1 discards everything; LERKept must
+// stay defined (0) with Kept == 0.
+func TestPostSelectionAllShotsDiscarded(t *testing.T) {
+	ps := RunPostSelection(Config{Distance: 3, Cycles: 2, P: 2e-3, Shots: 40, Seed: 3}, 1, 0)
+	if ps.Kept != 0 {
+		t.Fatalf("kept %d shots with an always-firing detector", ps.Kept)
+	}
+	if ps.DiscardFraction() != 1 {
+		t.Errorf("discard fraction %v, want 1", ps.DiscardFraction())
+	}
+	if ps.LERKept() != 0 {
+		t.Errorf("LERKept %v over zero kept shots, want 0", ps.LERKept())
+	}
+	if ps.LogicalErrorsKept != 0 {
+		t.Errorf("counted %d kept-shot errors with nothing kept", ps.LogicalErrorsKept)
+	}
+}
+
+// TestPostSelectionKeepsConsistentCounts: the generic invariants on a normal
+// run — kept <= shots, kept errors <= all errors, both LERs in [0, 1], and a
+// loose detector keeps everything.
+func TestPostSelectionCounts(t *testing.T) {
+	ps := RunPostSelection(Config{Distance: 3, Cycles: 2, P: 3e-3, Shots: 60, Seed: 7}, 2, 2)
+	if ps.Kept > ps.Shots || ps.LogicalErrorsKept > ps.LogicalErrorsAll {
+		t.Fatalf("inconsistent counts: %+v", ps)
+	}
+	if ps.LERAll() < 0 || ps.LERAll() > 1 || ps.LERKept() < 0 || ps.LERKept() > 1 {
+		t.Errorf("rates out of range: %v, %v", ps.LERAll(), ps.LERKept())
+	}
+	// An unsatisfiable detector (more flips than a data qubit has neighbors)
+	// keeps every shot.
+	ps = RunPostSelection(Config{Distance: 3, Cycles: 1, P: 1e-3, Shots: 20, Seed: 7}, 1, 5)
+	if ps.Kept != ps.Shots {
+		t.Errorf("unsatisfiable detector discarded %d shots", ps.Shots-ps.Kept)
+	}
+}
+
+// TestVisibilityZeroEpisodes: Percent over an empty distribution is all
+// zeros, and String still renders.
+func TestVisibilityZeroEpisodes(t *testing.T) {
+	v := &VisibilityStats{InvisibleRounds: make([]int64, 4)}
+	for i, p := range v.Percent() {
+		if p != 0 {
+			t.Errorf("Percent[%d] = %v with zero episodes", i, p)
+		}
+	}
+	if s := v.String(); !strings.Contains(s, "(0 episodes)") {
+		t.Errorf("String() on the empty distribution:\n%s", s)
+	}
+	// Zero shots: no episodes can be observed at all.
+	mv := MeasureVisibility(3, 5, 0, 1e-2, 1, 3)
+	if mv.Episodes != 0 {
+		t.Errorf("zero-shot visibility run observed %d episodes", mv.Episodes)
+	}
+}
+
+// TestVisibilityDistribution: a normal run's distribution is normalized and
+// the overflow bucket catches long episodes.
+func TestVisibilityDistribution(t *testing.T) {
+	v := MeasureVisibility(3, 20, 40, 5e-3, 9, 2)
+	if v.Episodes == 0 {
+		t.Fatal("no leakage episodes at p=5e-3 over 800 shot-rounds")
+	}
+	var sum int64
+	for _, c := range v.InvisibleRounds {
+		if c < 0 {
+			t.Fatalf("negative bucket count: %v", v.InvisibleRounds)
+		}
+		sum += c
+	}
+	if sum != v.Episodes {
+		t.Errorf("bucket sum %d != episodes %d", sum, v.Episodes)
+	}
+	total := 0.0
+	for _, p := range v.Percent() {
+		total += p
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("percentages sum to %v", total)
+	}
+	// record clamps overflow into the last bucket.
+	w := &VisibilityStats{InvisibleRounds: make([]int64, 3)}
+	w.record(10)
+	if w.InvisibleRounds[2] != 1 || w.Episodes != 1 {
+		t.Errorf("overflow episode not clamped: %+v", w)
+	}
+}

@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/device"
 	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/sim/batch"
@@ -36,6 +38,17 @@ type Config struct {
 	// standard model built from P.
 	P     float64
 	Noise *noise.Params
+	// Profile, when non-nil, replaces the uniform noise model with per-site
+	// calibrated rates from a device profile (internal/device); it takes
+	// precedence over Noise and P, and its Base supplies the device-wide
+	// transport model and leakage enable. A *uniform* profile is
+	// canonicalized away: it produces the same Config.Key, the same RNG
+	// streams and bit-identical results as the equivalent scalar config. A
+	// heterogeneous profile is content-hashed into Key and the RNG stream,
+	// so its tallies never alias the uniform ones, and it additionally
+	// installs matching-graph priors in the MWPM decoder (unless explicit
+	// Decoder weights are set).
+	Profile *device.Profile
 	// Basis selects memory-Z (the default, surfacecode.KindZ) or memory-X.
 	Basis surfacecode.Kind
 	// Shots is the number of Monte-Carlo trials.
@@ -90,10 +103,20 @@ func (c Config) rounds() int {
 }
 
 func (c Config) noiseParams() noise.Params {
+	if c.Profile != nil {
+		return c.Profile.Base
+	}
 	if c.Noise != nil {
 		return *c.Noise
 	}
 	return noise.Standard(c.P)
+}
+
+// heterogeneous reports whether the config carries a profile that actually
+// differs from its uniform base (the canonicalization predicate used by
+// Key, configStream and the decoder-prior wiring).
+func (c Config) heterogeneous() bool {
+	return c.Profile != nil && !c.Profile.Uniform()
 }
 
 // Result aggregates one experiment.
@@ -203,7 +226,21 @@ func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 	if err := np.Validate(); err != nil {
 		panic(fmt.Sprintf("experiment: %v", err))
 	}
-	var dec decoder.Engine = decoder.NewForKind(layout, cfg.Decoder, cfg.Basis)
+	var rates *device.Rates
+	if cfg.Profile != nil {
+		r, err := cfg.Profile.Resolve(layout)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		rates = r
+	}
+	dcfg := cfg.Decoder
+	if rates != nil && !rates.Uniform && dcfg.SpaceWeights == nil && dcfg.TimeWeights == nil {
+		// Heterogeneous profiles supply matching-graph priors from the local
+		// rates; explicit per-site Decoder weights win when set.
+		dcfg.SpaceWeights, dcfg.TimeWeights = rates.DecoderPriors(layout)
+	}
+	var dec decoder.Engine = decoder.NewForKind(layout, dcfg, cfg.Basis)
 	if cfg.UseUnionFind {
 		dec = decoder.NewUnionFind(layout, cfg.Basis, rounds)
 	}
@@ -239,11 +276,11 @@ func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 			defer wg.Done()
 			switch {
 			case useBatch && staticPlans(cfg.Policy):
-				runBatchWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			case useBatch:
-				runBatchLaneWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchLaneWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			default:
-				runWorker(cfg, layout, dec, rounds, np, seeds, lo, hi, w, workers, acc)
+				runWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, w, workers, acc)
 			}
 		}(w)
 	}
@@ -259,7 +296,7 @@ func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 }
 
 func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
@@ -277,6 +314,7 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
 		if s == nil {
 			s = sim.NewMemory(layout, np, rng, cfg.Basis)
+			s.UseRates(rates)
 		} else {
 			s.Reset(rng)
 		}
@@ -384,11 +422,12 @@ func finishBatch(bs *batch.Simulator, builder *circuit.Builder, dec decoder.Engi
 // policies plan identically for every lane, so one plan and one op sequence
 // per round serve the whole batch.
 func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
 	bs := batch.New(layout, np, cfg.Basis)
+	bs.UseRates(rates)
 	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
 
@@ -443,11 +482,12 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 // lane — and the engine's event, readout and ground-truth words are fanned
 // back out to the per-lane instances.
 func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	lp := core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol)
 	bs := batch.New(layout, np, cfg.Basis)
+	bs.UseRates(rates)
 	bs.TrackML = cfg.Policy == core.PolicyEraserM
 	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
@@ -531,6 +571,16 @@ func configStream(cfg Config) uint64 {
 	mix(math.Float64bits(np.PSeep))
 	mix(math.Float64bits(np.PTransport))
 	mix(math.Float64bits(np.PMultiLevelError))
+	// A heterogeneous profile folds its content hash into the stream so its
+	// units draw independently of the uniform config's. A uniform profile
+	// mixes nothing: its stream — and hence its shots — are identical to the
+	// profile-free config's, which is what makes Uniform(p) bit-exact.
+	if cfg.heterogeneous() {
+		sum := cfg.Profile.Hash()
+		for i := 0; i < len(sum); i += 8 {
+			mix(binary.LittleEndian.Uint64(sum[i:]))
+		}
+	}
 	return h
 }
 

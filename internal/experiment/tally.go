@@ -243,9 +243,10 @@ func CheckDistance(d int) error {
 }
 
 // Validate reports whether the config describes a runnable experiment:
-// representable distance, known policy/protocol/basis ordinals, and valid
-// noise parameters. Run panics on invalid configs; front ends call this
-// first to fail requests gracefully instead.
+// representable distance, known policy/protocol/basis ordinals, valid noise
+// parameters, and (when set) a device profile whose shape and rates check
+// out for the config's distance. Run panics on invalid configs; front ends
+// call this first to fail requests gracefully instead.
 func (c Config) Validate() error {
 	if err := CheckDistance(c.Distance); err != nil {
 		return err
@@ -258,6 +259,15 @@ func (c Config) Validate() error {
 	}
 	if c.Basis != surfacecode.KindZ && c.Basis != surfacecode.KindX {
 		return fmt.Errorf("unknown basis %d", c.Basis)
+	}
+	if c.Profile != nil {
+		if c.Profile.Distance != c.Distance {
+			return fmt.Errorf("profile is calibrated for d=%d, config is d=%d",
+				c.Profile.Distance, c.Distance)
+		}
+		if err := c.Profile.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.noiseParams().Validate()
 }
@@ -279,7 +289,7 @@ func (c Config) Key() (string, error) {
 		binary.LittleEndian.PutUint64(buf, v)
 		h.Write(buf)
 	}
-	put(1) // key schema version
+	put(2) // key schema version (v2: per-site decoder weights + device profile)
 	put(uint64(c.Distance))
 	put(uint64(c.rounds()))
 	put(uint64(c.Policy))
@@ -290,10 +300,19 @@ func (c Config) Key() (string, error) {
 	put(c.Seed)
 	dec := c.Decoder
 	if dec.SpaceWeight == 0 && dec.TimeWeight == 0 {
-		dec = decoder.DefaultConfig() // NewForKind applies the same default
+		def := decoder.DefaultConfig() // NewForKind applies the same default
+		dec.SpaceWeight, dec.TimeWeight = def.SpaceWeight, def.TimeWeight
 	}
 	put(math.Float64bits(dec.SpaceWeight))
 	put(math.Float64bits(dec.TimeWeight))
+	put(uint64(len(dec.SpaceWeights)))
+	for _, w := range dec.SpaceWeights {
+		put(math.Float64bits(w))
+	}
+	put(uint64(len(dec.TimeWeights)))
+	for _, w := range dec.TimeWeights {
+		put(math.Float64bits(w))
+	}
 	np := c.noiseParams()
 	put(uint64(np.Transport))
 	put(boolBit(np.LeakageEnabled))
@@ -302,6 +321,17 @@ func (c Config) Key() (string, error) {
 	put(math.Float64bits(np.PSeep))
 	put(math.Float64bits(np.PTransport))
 	put(math.Float64bits(np.PMultiLevelError))
+	// A heterogeneous profile contributes its content hash, so stored
+	// tallies never alias across profiles; a uniform profile contributes
+	// nothing and keys exactly like the profile-free scalar config it is
+	// equivalent to.
+	if c.heterogeneous() {
+		put(1)
+		sum := c.Profile.Hash()
+		h.Write(sum[:])
+	} else {
+		put(0)
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -309,6 +339,14 @@ func (c Config) Key() (string, error) {
 // metadata and logs.
 func (c Config) Describe() string {
 	np := c.noiseParams()
-	return fmt.Sprintf("d=%d rounds=%d policy=%s proto=%d basis=%d p=%g seed=%d uf=%v",
+	desc := fmt.Sprintf("d=%d rounds=%d policy=%s proto=%d basis=%d p=%g seed=%d uf=%v",
 		c.Distance, c.rounds(), c.Policy, c.Protocol, c.Basis, np.P, c.Seed, c.UseUnionFind)
+	if c.heterogeneous() {
+		name := c.Profile.Name
+		if name == "" {
+			name = "custom"
+		}
+		desc += fmt.Sprintf(" profile=%s/%s", name, c.Profile.HashHex())
+	}
+	return desc
 }

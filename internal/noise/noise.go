@@ -6,7 +6,10 @@
 // and a multi-level discriminator with error rate 10p used by ERASER+M).
 package noise
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // TransportModel selects how leakage transport treats the source qubit.
 type TransportModel uint8
@@ -91,9 +94,14 @@ func (n Params) WithTransport(m TransportModel) Params {
 	return n
 }
 
-// Validate reports whether every probability is inside [0, 1].
+// Validate reports whether every probability is inside [0, 1]. NaN is
+// rejected explicitly: it fails every comparison, so without the check a NaN
+// rate would sail through range tests and poison every downstream Bool draw.
 func (n Params) Validate() error {
 	check := func(name string, v float64) error {
+		if math.IsNaN(v) {
+			return fmt.Errorf("noise: %s is NaN", name)
+		}
 		if v < 0 || v > 1 {
 			return fmt.Errorf("noise: %s = %g outside [0, 1]", name, v)
 		}

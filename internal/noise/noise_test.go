@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -57,6 +58,24 @@ func TestValidate(t *testing.T) {
 	bad.P = -0.1
 	if bad.Validate() == nil {
 		t.Fatal("expected error for negative probability")
+	}
+	// NaN fails every comparison, so it needs — and has — an explicit check.
+	for _, set := range []func(*Params){
+		func(n *Params) { n.P = math.NaN() },
+		func(n *Params) { n.PLeak = math.NaN() },
+		func(n *Params) { n.PSeep = math.NaN() },
+		func(n *Params) { n.PTransport = math.NaN() },
+		func(n *Params) { n.PMultiLevelError = math.NaN() },
+	} {
+		bad = Standard(1e-3)
+		set(&bad)
+		if bad.Validate() == nil {
+			t.Fatal("expected error for NaN probability")
+		}
+	}
+	// Standard(NaN) propagates NaN into every derived rate.
+	if Standard(math.NaN()).Validate() == nil {
+		t.Fatal("expected error for Standard(NaN)")
 	}
 }
 

@@ -1,0 +1,125 @@
+package qudit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// isUnitary4 checks U†U = I for single-ququart gates (IsUnitary only covers
+// the two-ququart 16x16 case).
+func isUnitary4(u *[4][4]complex128, tol float64) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc complex128
+			for k := 0; k < 4; k++ {
+				acc += u[k][i] * cmplx.Conj(u[k][j])
+			}
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(acc-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSingleQuditGatesAreUnitary(t *testing.T) {
+	for name, u := range map[string]*[4][4]complex128{
+		"RaiseLower12": RaiseLower12(),
+		"Hadamard01":   Hadamard01(),
+	} {
+		if !isUnitary4(u, 1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestConditionalRXUnitaryAcrossAngles(t *testing.T) {
+	for _, theta := range []float64{0, 0.1, 0.65 * math.Pi, math.Pi, 2 * math.Pi} {
+		if !IsUnitary(ConditionalRX(theta), 1e-12) {
+			t.Errorf("ConditionalRX(%g) is not unitary", theta)
+		}
+	}
+	// theta = 0 is the identity.
+	u := ConditionalRX(0)
+	id := Identity16()
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if cmplx.Abs(u[i][j]-id[i][j]) > 1e-12 {
+				t.Fatalf("ConditionalRX(0)[%d][%d] = %v, want identity", i, j, u[i][j])
+			}
+		}
+	}
+}
+
+func TestLeakageTransportExchangesLevels(t *testing.T) {
+	u := LeakageTransport()
+	// |2,0> <-> |0,2>, |3,1> <-> |1,3>: columns are permuted accordingly.
+	for _, pair := range [][2]int{{idx2(2, 0), idx2(0, 2)}, {idx2(3, 1), idx2(1, 3)},
+		{idx2(2, 1), idx2(1, 2)}, {idx2(3, 0), idx2(0, 3)}} {
+		a, b := pair[0], pair[1]
+		if u[a][b] != 1 || u[b][a] != 1 {
+			t.Errorf("transport does not exchange basis states %d and %d", a, b)
+		}
+	}
+	// Computational states are untouched.
+	for _, a := range []int{idx2(0, 0), idx2(0, 1), idx2(1, 0), idx2(1, 1)} {
+		if u[a][a] != 1 {
+			t.Errorf("transport disturbs computational state %d", a)
+		}
+	}
+}
+
+// TestGateChannelsPreserveTrace: applying every gate — coherently and as a
+// probabilistic mixture — keeps the density matrix trace-one and Hermitian,
+// starting from a nontrivial superposed, partially leaked state.
+func TestGateChannelsPreserveTrace(t *testing.T) {
+	d := New(2)
+	d.SetBasis([]int{2, 0})
+	d.ApplyUnitary1(1, Hadamard01()) // superpose the second ququart
+	d.MixUnitary1(1, RaiseLower12(), 0.3)
+
+	d.ApplyUnitary2(0, 1, CNOT())
+	d.MixUnitary2(0, 1, LeakageTransport(), 0.1)
+	d.ApplyUnitary2(0, 1, ConditionalRX(0.65*math.Pi))
+	d.ApplyUnitary2(1, 0, ConditionalRX(0.65*math.Pi))
+	d.MixUnitary1(0, RaiseLower12(), 1e-2)
+	d.ApplyUnitary1(1, Hadamard01())
+
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-9 {
+		t.Errorf("trace drifted to %v", tr)
+	}
+	if def := d.HermiticityDefect(); def > 1e-9 {
+		t.Errorf("hermiticity defect %v", def)
+	}
+	for q := 0; q < 2; q++ {
+		if lp := d.LeakPopulation(q); lp < 0 || lp > 1 {
+			t.Errorf("q%d leak population %v outside [0, 1]", q, lp)
+		}
+		p0, p1, pl := d.MeasureProbs(q)
+		if s := p0 + p1 + pl; math.Abs(s-1) > 1e-9 {
+			t.Errorf("q%d measurement probabilities sum to %v", q, s)
+		}
+	}
+}
+
+func TestCNOTLeavesLeakedOperandsAlone(t *testing.T) {
+	// Control in |2>: CNOT acts as identity, target stays |0>.
+	d := New(2)
+	d.SetBasis([]int{2, 0})
+	d.ApplyUnitary2(0, 1, CNOT())
+	if p0, _, _ := d.MeasureProbs(1); math.Abs(p0-1) > 1e-12 {
+		t.Errorf("leaked control flipped the target: P(0) = %v", p0)
+	}
+	// Control |1>, target |3>: target's leaked population is untouched.
+	d = New(2)
+	d.SetBasis([]int{1, 3})
+	d.ApplyUnitary2(0, 1, CNOT())
+	if lp := d.LeakPopulation(1); math.Abs(lp-1) > 1e-12 {
+		t.Errorf("CNOT disturbed a leaked target: leak population %v", lp)
+	}
+}

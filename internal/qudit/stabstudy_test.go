@@ -1,0 +1,66 @@
+package qudit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudyParamsDefaults(t *testing.T) {
+	p := StudyParams{}.filled()
+	if math.Abs(p.Theta-0.65*math.Pi) > 1e-9 {
+		t.Errorf("default Theta = %v, want 0.65*pi", p.Theta)
+	}
+	if p.PTransport != 0.1 || p.PLeak != 1e-4 {
+		t.Errorf("default rates: transport %v, leak %v", p.PTransport, p.PLeak)
+	}
+	// Explicit values survive filling.
+	p = StudyParams{Theta: 1, PTransport: 0.2, PLeak: 1e-3}.filled()
+	if p.Theta != 1 || p.PTransport != 0.2 || p.PLeak != 1e-3 {
+		t.Errorf("filled overwrote explicit params: %+v", p)
+	}
+}
+
+// TestStudySmoke is the stabilizer-study sanity check: the Figure 7(a)
+// two-round experiment produces a well-formed time series — one point per
+// two-qubit operation plus the mid-round measure+reset, every population a
+// probability, q0 initially fully leaked and cleared by its LRC
+// measure+reset.
+func TestStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the 5-ququart study takes a few seconds")
+	}
+	pts := Study(StudyParams{})
+	// Round 1: 4 extraction CNOTs + 3 SWAP CNOTs + MR + 2 return CNOTs;
+	// round 2: 4 extraction CNOTs.
+	if want := 14; len(pts) != want {
+		t.Fatalf("%d study points, want %d", len(pts), want)
+	}
+	steps := make(map[string]bool)
+	for _, pt := range pts {
+		if steps[pt.Step] {
+			t.Errorf("duplicate step label %q", pt.Step)
+		}
+		steps[pt.Step] = true
+		for q, lp := range pt.Leak {
+			if lp < -1e-9 || lp > 1+1e-9 || math.IsNaN(lp) {
+				t.Errorf("%s: q%d leak population %v outside [0, 1]", pt.Step, q, lp)
+			}
+		}
+		for name, v := range map[string]float64{
+			"PCorrect": pt.PCorrect, "PLeakedOutcome": pt.PLeakedOutcome,
+		} {
+			if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+				t.Errorf("%s: %s = %v outside [0, 1]", pt.Step, name, v)
+			}
+		}
+	}
+	// q0 starts in |2>: after the first CNOT it is still mostly leaked (the
+	// transport channel moves PTransport = 10% of the population to P).
+	first := pts[0]
+	if first.Leak[0] < 0.85 {
+		t.Errorf("q0 leak population %v after first CNOT, want ~0.9", first.Leak[0])
+	}
+	if first.Leak[4] < 0.05 {
+		t.Errorf("parity leak population %v after first CNOT, want ~0.1 (transport)", first.Leak[4])
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/experiment"
 	"repro/internal/noise"
 	"repro/internal/surfacecode"
@@ -30,6 +31,13 @@ type ConfigSpec struct {
 	Transport    string  `json:"transport,omitempty"` // "conservative" (default) or "exchange"
 	NoLeakage    bool    `json:"no_leakage,omitempty"`
 	UseUnionFind bool    `json:"use_union_find,omitempty"`
+	// Profile carries a full inline device profile (per-site calibrated
+	// rates); ProfileSpec a generator string ("hotspot:1e-3,3,8", see
+	// device.GeneratorSpecs) instantiated at Distance with the request's
+	// transport model. ProfileSpec wins when both are set; either overrides
+	// the uniform P/Transport/NoLeakage model.
+	Profile     *device.Profile `json:"profile,omitempty"`
+	ProfileSpec string          `json:"profile_spec,omitempty"`
 }
 
 // PolicyNames lists the accepted policy spellings.
@@ -85,10 +93,12 @@ func (cs ConfigSpec) Config() (experiment.Config, error) {
 		return cfg, fmt.Errorf("unknown basis %q (valid: Z, X)", cs.Basis)
 	}
 	np := noise.Standard(cs.P)
+	transport := noise.TransportConservative
 	switch strings.ToLower(cs.Transport) {
 	case "", "conservative":
 	case "exchange":
-		np = np.WithTransport(noise.TransportExchange)
+		transport = noise.TransportExchange
+		np = np.WithTransport(transport)
 	default:
 		return cfg, fmt.Errorf("unknown transport %q (valid: conservative, exchange)", cs.Transport)
 	}
@@ -96,6 +106,24 @@ func (cs ConfigSpec) Config() (experiment.Config, error) {
 		np = noise.WithoutLeakage(cs.P)
 	}
 	cfg.Noise = &np
+	switch {
+	case cs.ProfileSpec != "":
+		sp, err := device.ParseSpec(cs.ProfileSpec)
+		if err != nil {
+			return cfg, err
+		}
+		if !sp.Generator() {
+			return cfg, fmt.Errorf("profile_spec %q is not a generator (valid: %s); send inline rates via profile instead",
+				cs.ProfileSpec, device.GeneratorSpecs)
+		}
+		prof, err := sp.For(cs.Distance, transport)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Profile = prof
+	case cs.Profile != nil:
+		cfg.Profile = cs.Profile
+	}
 	return cfg, nil
 }
 

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiment"
+	"repro/internal/store"
+)
+
+// TestProfileKeysSeparateStoredTallies: a hotspot profile and the uniform
+// config it elaborates must land in distinct store entries, while a uniform
+// profile shares the plain config's entry (the canonicalization).
+func TestProfileKeysSeparateStoredTallies(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := New(st, 2)
+	plain := experiment.Config{Distance: 3, Cycles: 2, P: 2e-3, Shots: 128,
+		Seed: 9, Policy: core.PolicyAlways}
+	uniform := plain
+	uniform.Profile, err = device.Uniform(3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := plain
+	hot.Profile, err = device.Hotspot(3, 2e-3, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sched.Run(plain, Precision{}); err != nil {
+		t.Fatal(err)
+	}
+	ranPlain := sched.UnitsExecuted()
+	if _, err := sched.Run(uniform, Precision{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sched.UnitsExecuted(); n != ranPlain {
+		t.Errorf("uniform-profile request re-simulated %d units; want full cache hit", n-ranPlain)
+	}
+	if _, err := sched.Run(hot, Precision{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sched.UnitsExecuted(); n == ranPlain {
+		t.Error("hotspot-profile request was served from the uniform tally")
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Errorf("store holds %d keys, want 2 (uniform + hotspot)", len(keys))
+	}
+}
+
+// TestHTTPProfileSpec: the wire form accepts generator profile specs,
+// rejects file specs, and profile runs complete end to end.
+func TestHTTPProfileSpec(t *testing.T) {
+	st, _ := store.Open("")
+	srv := httptest.NewServer(NewHandler(New(st, 2)))
+	defer srv.Close()
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := post(`{"config": {"distance": 3, "cycles": 2, "p": 2e-3,
+		"policy": "always", "shots": 64, "profile_spec": "hotspot:2e-3,2,8"}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("profile_spec submit: status %d (%v)", code, out)
+	}
+
+	code, out = post(`{"config": {"distance": 3, "cycles": 2, "p": 2e-3,
+		"policy": "always", "shots": 64, "profile_spec": "/etc/passwd"}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("file profile_spec: status %d (%v), want 400", code, out)
+	}
+}
+
+// TestHTTPInvalidRatesRejected: requests with invalid probabilities — the
+// scalar p or any profile site rate — fail with 400 before any simulation.
+func TestHTTPInvalidRatesRejected(t *testing.T) {
+	st, _ := store.Open("")
+	srv := httptest.NewServer(NewHandler(New(st, 2)))
+	defer srv.Close()
+
+	for name, body := range map[string]string{
+		"negative p": `{"config": {"distance": 3, "p": -0.5, "policy": "always", "shots": 64}}`,
+		"p above 1":  `{"config": {"distance": 3, "p": 1.5, "policy": "always", "shots": 64}}`,
+		"bad spec":   `{"config": {"distance": 3, "p": 1e-3, "policy": "always", "shots": 64, "profile_spec": "hotspot:1e-3"}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// An inline profile with an out-of-range site rate is also a 400.
+	prof, err := device.Uniform(3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.P[0] = 1.5
+	req := map[string]any{"config": map[string]any{
+		"distance": 3, "p": 1e-3, "policy": "always", "shots": 64, "profile": prof,
+	}}
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("inline invalid profile: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -9,9 +9,13 @@
 //
 // Noise is injected with rare-event skip sampling: error probabilities in
 // the ERASER model are ~1e-3 to 1e-4, so instead of drawing one Float64 per
-// lane per noise site, each probability keeps a stats.RNG.Geometric stream
-// that jumps directly to the next erring lane. A noise site over a full word
-// costs O(1 + 64p) random draws instead of 64.
+// lane per noise site, each distinct probability — a *rate class* — keeps a
+// stats.RNG.Geometric stream that jumps directly to the next erring lane. A
+// noise site over a full word costs O(1 + 64p) random draws instead of 64.
+// With the uniform scalar model every noise kind has one class; a
+// heterogeneous device profile (UseRates) gets one stream per distinct
+// per-site rate, so site-calibrated noise costs the same number of sampler
+// calls as uniform noise.
 //
 // Lanes that hold a leaked qubit fall back to per-lane handling (random
 // Paulis on CNOT partners, leakage transport, seepage), which keeps the
@@ -35,6 +39,7 @@ import (
 	"math/bits"
 
 	"repro/internal/circuit"
+	"repro/internal/device"
 	"repro/internal/noise"
 	"repro/internal/stats"
 	"repro/internal/surfacecode"
@@ -127,16 +132,35 @@ type Simulator struct {
 	finalData []uint64 // [NumData] transversal measurement outcome words
 	finalDet  []uint64 // [NumParity] final detector words
 
-	depol   sampler // p = Noise.P
-	leakInj sampler // p = Noise.PLeak
-	seep    sampler // p = Noise.PSeep
-	mlErr   sampler // p = Noise.PMultiLevelError (TrackML only)
+	// Skip-sampling state, organized by *rate class*: sites sharing a rate
+	// value share one geometric stream, so a noise site still costs
+	// O(1 + 64p) draws regardless of how many sites exist. Profile-free and
+	// uniform-profile simulators collapse to one class per kind — the exact
+	// sampler layout (and random sequence) of the scalar-rate engine — while
+	// heterogeneous profiles get one stream per distinct rate. depol spans
+	// both the per-qubit P sites (H, measurement flips, resets) and the
+	// per-coupler CNOT-depolarizing sites; the other kinds are per-qubit.
+	rates     *device.Rates // nil = uniform Noise scalars
+	depolQ    []uint16      // [NumQubits] qubit -> depol class
+	depolC    []uint16      // [NumCouplers] coupler -> depol class (profiles only)
+	leakQ     []uint16      // [NumQubits] qubit -> leak-injection class
+	seepQ     []uint16      // [NumQubits] qubit -> seepage class
+	mlQ       []uint16      // [NumQubits] qubit -> multi-level-error class
+	depolBase uint16        // fallback depol class for non-coupler pairs
+	depolS    []sampler     // class samplers, reset per batch
+	leakS     []sampler
+	seepS     []sampler
+	mlS       []sampler
+	depolV    []float64 // class rate values
+	leakV     []float64
+	seepV     []float64
+	mlV       []float64
 }
 
 // New returns a batch simulator for the layout. Call Reset with a dedicated
 // RNG before running each batch.
 func New(l *surfacecode.Layout, n noise.Params, basis surfacecode.Kind) *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		Layout: l,
 		Noise:  n,
 		Basis:  basis,
@@ -155,6 +179,102 @@ func New(l *surfacecode.Layout, n noise.Params, basis surfacecode.Kind) *Simulat
 		finalData:  make([]uint64, l.NumData),
 		finalDet:   make([]uint64, l.NumParity),
 	}
+	s.buildClasses()
+	return s
+}
+
+// UseRates switches the simulator to per-site rates from a resolved device
+// profile and rebuilds the rate-class tables; Noise is rebound to the
+// profile's base (which still supplies the transport model and leakage
+// enable). A uniform profile collapses to one class per noise kind — the
+// scalar engine's exact sampler layout — so its batches are bit-identical to
+// the profile-free simulator's. Call before Reset; survives it.
+func (s *Simulator) UseRates(r *device.Rates) {
+	s.rates = r
+	if r != nil {
+		s.Noise = r.Base
+	}
+	s.buildClasses()
+}
+
+// buildClasses groups the noise sites of each kind by rate value. With no
+// profile every kind has exactly one class carrying the scalar Noise rate.
+func (s *Simulator) buildClasses() {
+	nq := s.Layout.NumQubits
+	if s.rates == nil {
+		s.depolQ, s.depolV = fill16(nq), []float64{s.Noise.P}
+		s.leakQ, s.leakV = fill16(nq), []float64{s.Noise.PLeak}
+		s.seepQ, s.seepV = fill16(nq), []float64{s.Noise.PSeep}
+		s.mlQ, s.mlV = fill16(nq), []float64{s.Noise.PMultiLevelError}
+		s.depolC, s.depolBase = nil, 0
+	} else {
+		r := s.rates
+		// depol classes span the per-qubit P sites, the per-coupler CNOT
+		// sites and the base fallback, in that order, so a uniform profile
+		// still yields a single class 0.
+		all := make([]float64, 0, nq+len(r.CDepol)+1)
+		all = append(all, r.QP...)
+		all = append(all, r.CDepol...)
+		all = append(all, r.Base.P)
+		cls, vals := classify(all)
+		s.depolQ, s.depolC = cls[:nq], cls[nq:nq+len(r.CDepol)]
+		s.depolBase = cls[nq+len(r.CDepol)]
+		s.depolV = vals
+		s.leakQ, s.leakV = classify(r.QLeak)
+		s.seepQ, s.seepV = classify(r.QSeep)
+		s.mlQ, s.mlV = classify(r.QML)
+	}
+	s.depolS = make([]sampler, len(s.depolV))
+	s.leakS = make([]sampler, len(s.leakV))
+	s.seepS = make([]sampler, len(s.seepV))
+	s.mlS = make([]sampler, len(s.mlV))
+}
+
+// classify assigns each value a class id in first-appearance order and
+// returns the per-site class ids plus the class rate values.
+func classify(vals []float64) ([]uint16, []float64) {
+	idx := make(map[float64]uint16)
+	var classes []float64
+	out := make([]uint16, len(vals))
+	for i, v := range vals {
+		c, ok := idx[v]
+		if !ok {
+			if len(classes) > 1<<16-1 {
+				// uint16 ids overflow at ~6d^2 distinct rates (d >~ 105 with
+				// an all-distinct profile); wrapping would silently hand
+				// sites the wrong sampler.
+				panic("batch: more than 65535 distinct rate classes")
+			}
+			c = uint16(len(classes))
+			idx[v] = c
+			classes = append(classes, v)
+		}
+		out[i] = c
+	}
+	return out, classes
+}
+
+func fill16(n int) []uint16 { return make([]uint16, n) }
+
+// depolCoupler returns the depolarizing sampler of the (a, b) coupler,
+// falling back to the base class for non-coupler pairs (which the circuit
+// builder never emits).
+func (s *Simulator) depolCoupler(a, b int) *sampler {
+	if s.rates != nil {
+		if i := s.rates.CouplerIndex(a, b); i >= 0 {
+			return &s.depolS[s.depolC[i]]
+		}
+	}
+	return &s.depolS[s.depolBase]
+}
+
+// transportAt returns the leakage-transport probability of the (a, b)
+// coupler.
+func (s *Simulator) transportAt(a, b int) float64 {
+	if s.rates == nil {
+		return s.Noise.PTransport
+	}
+	return s.rates.TransportP(a, b)
 }
 
 // Reset clears all frame state and rebinds the random source for a fresh
@@ -170,14 +290,22 @@ func (s *Simulator) Reset(rng *stats.RNG) {
 		s.mlParLeak[i], s.mlParVal[i] = 0, 0
 		s.mlDataLeak[i], s.mlDataVal[i] = 0, 0
 	}
-	s.depol.reset(s.Noise.P, rng)
-	s.leakInj.reset(s.Noise.PLeak, rng)
-	s.seep.reset(s.Noise.PSeep, rng)
-	pml := 0.0
-	if s.TrackML {
-		pml = s.Noise.PMultiLevelError
+	for i := range s.depolS {
+		s.depolS[i].reset(s.depolV[i], rng)
 	}
-	s.mlErr.reset(pml, rng)
+	for i := range s.leakS {
+		s.leakS[i].reset(s.leakV[i], rng)
+	}
+	for i := range s.seepS {
+		s.seepS[i].reset(s.seepV[i], rng)
+	}
+	for i := range s.mlS {
+		pml := 0.0
+		if s.TrackML {
+			pml = s.mlV[i]
+		}
+		s.mlS[i].reset(pml, rng)
+	}
 }
 
 // Round returns the number of completed rounds.
@@ -467,7 +595,7 @@ func (s *Simulator) depolarize2Mask(a, b int, m uint64) {
 func (s *Simulator) classifyML(q int, w, mask uint64) (leak, val uint64) {
 	leak = s.leaked[q] & mask
 	val = w &^ leak
-	for errm := s.mlErr.next() & mask; errm != 0; errm &= errm - 1 {
+	for errm := s.mlS[s.mlQ[q]].next() & mask; errm != 0; errm &= errm - 1 {
 		bit := errm & -errm
 		switch {
 		case leak&bit != 0: // |L> misread as |0> or |1>
@@ -498,7 +626,7 @@ func (s *Simulator) hadamard(q int, mask uint64) {
 	x, z := s.x[q], s.z[q]
 	s.x[q] = (z & swap) | (x &^ swap)
 	s.z[q] = (x & swap) | (z &^ swap)
-	s.depolarize1Mask(q, s.depol.next()&swap)
+	s.depolarize1Mask(q, s.depolS[s.depolQ[q]].next()&swap)
 }
 
 func (s *Simulator) cnot(c, t int, mask uint64) {
@@ -507,10 +635,10 @@ func (s *Simulator) cnot(c, t int, mask uint64) {
 	both := mask &^ (lc | lt)
 	s.x[t] ^= s.x[c] & both
 	s.z[c] ^= s.z[t] & both
-	s.depolarize2Mask(c, t, s.depol.next()&both)
+	s.depolarize2Mask(c, t, s.depolCoupler(c, t).next()&both)
 	if n.LeakageEnabled {
-		s.leakMask(c, s.leakInj.next()&both)
-		s.leakMask(t, s.leakInj.next()&both)
+		s.leakMask(c, s.leakS[s.leakQ[c]].next()&both)
+		s.leakMask(t, s.leakS[s.leakQ[t]].next()&both)
 	}
 	// Lanes with exactly one leaked operand: random Pauli on the unleaked
 	// one, leakage transport with probability PTransport (Section 5.2.2).
@@ -521,7 +649,7 @@ func (s *Simulator) cnot(c, t int, mask uint64) {
 			u, l = c, t
 		}
 		s.applyPauliLane(u, bit, s.rng.IntN(4))
-		if s.rng.Bool(n.PTransport) {
+		if s.rng.Bool(s.transportAt(c, t)) {
 			s.leakMask(u, bit)
 			if n.Transport == noise.TransportExchange {
 				s.unleakMask(l, bit)
@@ -535,8 +663,8 @@ func (s *Simulator) cnot(c, t int, mask uint64) {
 func (s *Simulator) leakISWAP(d, p int, mask uint64) {
 	n := &s.Noise
 	ld, lp := s.leaked[d]&mask, s.leaked[p]&mask
-	caseD := ld           // leaked data: return to computational basis
-	caseP := lp &^ ld     // leaked parity only: leaked-CNOT-operand behavior
+	caseD := ld               // leaked data: return to computational basis
+	caseP := lp &^ ld         // leaked parity only: leaked-CNOT-operand behavior
 	rest := mask &^ (ld | lp) // neither leaked
 
 	if caseD != 0 {
@@ -546,7 +674,7 @@ func (s *Simulator) leakISWAP(d, p int, mask uint64) {
 	for m := caseP; m != 0; m &= m - 1 {
 		bit := m & -m
 		s.applyPauliLane(d, bit, s.rng.IntN(4))
-		if s.rng.Bool(n.PTransport) {
+		if s.rng.Bool(s.transportAt(d, p)) {
 			s.leakMask(d, bit)
 			if n.Transport == noise.TransportExchange {
 				s.unleakMask(p, bit)
@@ -566,10 +694,10 @@ func (s *Simulator) leakISWAP(d, p int, mask uint64) {
 			}
 		}
 	}
-	s.depolarize2Mask(d, p, s.depol.next()&tail)
+	s.depolarize2Mask(d, p, s.depolCoupler(d, p).next()&tail)
 	if n.LeakageEnabled {
-		s.leakMask(d, s.leakInj.next()&tail)
-		s.leakMask(p, s.leakInj.next()&tail)
+		s.leakMask(d, s.leakS[s.leakQ[d]].next()&tail)
+		s.leakMask(p, s.leakS[s.leakQ[p]].next()&tail)
 	}
 }
 
@@ -583,7 +711,7 @@ func (s *Simulator) measureZWord(q int, mask uint64) uint64 {
 	if lk != 0 {
 		w |= s.rng.Uint64() & lk
 	}
-	return w ^ (s.depol.next() & mask &^ lk)
+	return w ^ (s.depolS[s.depolQ[q]].next() & mask &^ lk)
 }
 
 // measureXWord is measureZWord in the X basis: the Z frame decides the
@@ -594,31 +722,31 @@ func (s *Simulator) measureXWord(q int, mask uint64) uint64 {
 	if lk != 0 {
 		w |= s.rng.Uint64() & lk
 	}
-	return w ^ (s.depol.next() & mask &^ lk)
+	return w ^ (s.depolS[s.depolQ[q]].next() & mask &^ lk)
 }
 
 func (s *Simulator) reset(q int, mask uint64) {
 	s.leaked[q] &^= mask
 	s.z[q] &^= mask
 	// Initialization error: |1> instead of |0> on masked lanes.
-	s.x[q] = (s.x[q] &^ mask) | (s.depol.next() & mask)
+	s.x[q] = (s.x[q] &^ mask) | (s.depolS[s.depolQ[q]].next() & mask)
 }
 
 func (s *Simulator) roundStartNoise() {
 	n := &s.Noise
 	for q := 0; q < s.Layout.NumData; q++ {
 		if !n.LeakageEnabled {
-			s.depolarize1Mask(q, s.depol.next())
+			s.depolarize1Mask(q, s.depolS[s.depolQ[q]].next())
 			continue
 		}
 		lk := s.leaked[q]
 		if lk != 0 {
-			s.unleakMask(q, s.seep.next()&lk)
+			s.unleakMask(q, s.seepS[s.seepQ[q]].next()&lk)
 		}
 		// Lanes leaked at round start (even if just seeped) take no further
 		// round-start noise, as in the scalar simulator.
-		lm := s.leakInj.next() &^ lk
+		lm := s.leakS[s.leakQ[q]].next() &^ lk
 		s.leakMask(q, lm)
-		s.depolarize1Mask(q, s.depol.next()&^(lk|lm))
+		s.depolarize1Mask(q, s.depolS[s.depolQ[q]].next()&^(lk|lm))
 	}
 }

@@ -169,8 +169,8 @@ func TestLeakedCountsActiveMask(t *testing.T) {
 	l := surfacecode.MustNew(3)
 	s := New(l, noiseless(), surfacecode.KindZ)
 	s.Reset(stats.NewRNG(7, 7))
-	s.InjectLeak(0, 0xFF)              // 8 lanes on data qubit 0
-	s.InjectLeak(l.NumData, 0b11<<62)  // 2 lanes on a parity qubit, outside mask
+	s.InjectLeak(0, 0xFF)             // 8 lanes on data qubit 0
+	s.InjectLeak(l.NumData, 0b11<<62) // 2 lanes on a parity qubit, outside mask
 	d, p := s.LeakedCounts(AllLanes)
 	if d != 8 || p != 2 {
 		t.Fatalf("full counts = (%d, %d), want (8, 2)", d, p)

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"repro/internal/circuit"
+	"repro/internal/device"
 	"repro/internal/noise"
 	"repro/internal/stats"
 	"repro/internal/surfacecode"
@@ -64,7 +65,8 @@ type Simulator struct {
 	Basis surfacecode.Kind
 
 	rng    *stats.RNG
-	x, z   []bool // Pauli frame
+	rates  *device.Rates // per-site rates; nil = uniform Noise scalars
+	x, z   []bool        // Pauli frame
 	leaked []bool
 
 	round    int
@@ -117,6 +119,63 @@ func (s *Simulator) Reset(rng *stats.RNG) {
 	for i := range s.syndrome {
 		s.syndrome[i], s.prev[i], s.events[i] = 0, 0, 0
 	}
+}
+
+// UseRates switches the simulator to per-site rates from a resolved device
+// profile; Noise is rebound to the profile's base (which still supplies the
+// device-wide transport model and leakage enable). A uniform profile draws
+// the exact same random sequence as the scalar path, so its shots are
+// bit-identical to the profile-free simulator's. Survives Reset.
+func (s *Simulator) UseRates(r *device.Rates) {
+	s.rates = r
+	if r != nil {
+		s.Noise = r.Base
+	}
+}
+
+// Per-site rate lookups: the scalar Noise fields when no profile is
+// installed, the site's calibrated rate otherwise.
+
+func (s *Simulator) pAt(q int) float64 {
+	if s.rates == nil {
+		return s.Noise.P
+	}
+	return s.rates.QP[q]
+}
+
+func (s *Simulator) leakAt(q int) float64 {
+	if s.rates == nil {
+		return s.Noise.PLeak
+	}
+	return s.rates.QLeak[q]
+}
+
+func (s *Simulator) seepAt(q int) float64 {
+	if s.rates == nil {
+		return s.Noise.PSeep
+	}
+	return s.rates.QSeep[q]
+}
+
+func (s *Simulator) mlAt(q int) float64 {
+	if s.rates == nil {
+		return s.Noise.PMultiLevelError
+	}
+	return s.rates.QML[q]
+}
+
+func (s *Simulator) gateAt(a, b int) float64 {
+	if s.rates == nil {
+		return s.Noise.P
+	}
+	return s.rates.GateP(a, b)
+}
+
+func (s *Simulator) transportAt(a, b int) float64 {
+	if s.rates == nil {
+		return s.Noise.PTransport
+	}
+	return s.rates.TransportP(a, b)
 }
 
 // Round returns the number of completed rounds.
@@ -220,7 +279,7 @@ func (s *Simulator) measureX(q int) uint8 {
 	if s.z[q] {
 		bit = 1
 	}
-	if s.rng.Bool(s.Noise.P) {
+	if s.rng.Bool(s.pAt(q)) {
 		bit ^= 1
 	}
 	return bit
@@ -274,16 +333,16 @@ func (s *Simulator) roundStartNoise() {
 	n := s.Noise
 	for q := 0; q < s.Layout.NumData; q++ {
 		if n.LeakageEnabled && s.leaked[q] {
-			if s.rng.Bool(n.PSeep) {
+			if s.rng.Bool(s.seepAt(q)) {
 				s.unleak(q)
 			}
 			continue
 		}
-		if n.LeakageEnabled && s.rng.Bool(n.PLeak) {
+		if n.LeakageEnabled && s.rng.Bool(s.leakAt(q)) {
 			s.leak(q)
 			continue
 		}
-		if s.rng.Bool(n.P) {
+		if s.rng.Bool(s.pAt(q)) {
 			s.depolarize1(q)
 		}
 	}
@@ -335,7 +394,7 @@ func (s *Simulator) hadamard(q int) {
 		return
 	}
 	s.x[q], s.z[q] = s.z[q], s.x[q]
-	if s.rng.Bool(s.Noise.P) {
+	if s.rng.Bool(s.pAt(q)) {
 		s.depolarize1(q)
 	}
 }
@@ -347,14 +406,14 @@ func (s *Simulator) cnot(c, t int) {
 	case !lc && !lt:
 		s.x[t] = s.x[t] != s.x[c]
 		s.z[c] = s.z[c] != s.z[t]
-		if s.rng.Bool(n.P) {
+		if s.rng.Bool(s.gateAt(c, t)) {
 			s.depolarize2(c, t)
 		}
 		if n.LeakageEnabled {
-			if s.rng.Bool(n.PLeak) {
+			if s.rng.Bool(s.leakAt(c)) {
 				s.leak(c)
 			}
-			if s.rng.Bool(n.PLeak) {
+			if s.rng.Bool(s.leakAt(t)) {
 				s.leak(t)
 			}
 		}
@@ -366,7 +425,7 @@ func (s *Simulator) cnot(c, t int) {
 			u, l = c, t
 		}
 		s.randomPauli(u)
-		if s.rng.Bool(n.PTransport) {
+		if s.rng.Bool(s.transportAt(c, t)) {
 			s.leak(u)
 			if n.Transport == noise.TransportExchange {
 				s.unleak(l)
@@ -398,7 +457,7 @@ func (s *Simulator) leakISWAP(d, p int) {
 		// A leaked parity qubit (reset failed to clear an earlier transport)
 		// behaves like any leaked CNOT operand.
 		s.randomPauli(d)
-		if s.rng.Bool(n.PTransport) {
+		if s.rng.Bool(s.transportAt(d, p)) {
 			s.leak(d)
 			if n.Transport == noise.TransportExchange {
 				s.unleak(p)
@@ -415,14 +474,14 @@ func (s *Simulator) leakISWAP(d, p int) {
 	}
 	// The LeakageISWAP has CX-grade fidelity: depolarizing and leakage
 	// injection as for a CNOT.
-	if s.rng.Bool(n.P) {
+	if s.rng.Bool(s.gateAt(d, p)) {
 		s.depolarize2(d, p)
 	}
 	if n.LeakageEnabled {
-		if s.rng.Bool(n.PLeak) {
+		if s.rng.Bool(s.leakAt(d)) {
 			s.leak(d)
 		}
-		if s.rng.Bool(n.PLeak) {
+		if s.rng.Bool(s.leakAt(p)) {
 			s.leak(p)
 		}
 	}
@@ -432,7 +491,6 @@ func (s *Simulator) leakISWAP(d, p int) {
 // qubit q. Measurement does not disturb frames; a following reset clears
 // them.
 func (s *Simulator) measure(q int) (uint8, MLClass) {
-	n := s.Noise
 	var bit uint8
 	if s.leaked[q] {
 		bit = s.rng.Bit() // two-level discriminator: random classification
@@ -441,7 +499,7 @@ func (s *Simulator) measure(q int) (uint8, MLClass) {
 		if s.x[q] {
 			bit = 1
 		}
-		if s.rng.Bool(n.P) {
+		if s.rng.Bool(s.pAt(q)) {
 			bit ^= 1
 		}
 	}
@@ -449,7 +507,7 @@ func (s *Simulator) measure(q int) (uint8, MLClass) {
 	if s.leaked[q] {
 		ml = MLLeak
 	}
-	if s.rng.Bool(n.PMultiLevelError) {
+	if s.rng.Bool(s.mlAt(q)) {
 		// Erroneous multi-level classification: uniform over the two wrong
 		// classes.
 		wrong := [2]MLClass{}
@@ -469,7 +527,7 @@ func (s *Simulator) reset(q int) {
 	s.leaked[q] = false
 	s.x[q] = false
 	s.z[q] = false
-	if s.rng.Bool(s.Noise.P) {
+	if s.rng.Bool(s.pAt(q)) {
 		s.x[q] = true // initialization error: |1> instead of |0>
 	}
 }
