@@ -15,12 +15,25 @@
 //
 //	# poll (or stream interim tallies from /v1/stream?job=j1)
 //	curl -s localhost:8714/v1/result?job=j1
+//
+//	# cancel; units completed so far stay checkpointed in the store
+//	curl -s -X DELETE localhost:8714/v1/run?job=j1
+//
+// The server sheds cold work with 429 + Retry-After once -max-pending jobs
+// are queued (cache hits always flow), and SIGINT/SIGTERM starts a draining
+// shutdown: no new submissions, running jobs checkpoint their completed
+// units into the store, and a restarted server re-runs only the remainder.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/store"
@@ -31,6 +44,15 @@ func main() {
 		addr    = flag.String("addr", ":8714", "listen address")
 		dir     = flag.String("store", "", "result store directory (empty = in-memory only)")
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+
+		maxPending = flag.Int("max-pending", service.DefaultMaxPending,
+			"cold jobs admitted before load-shedding with 429 (warm cache hits bypass)")
+		retainJobs = flag.Int("retain-jobs", service.DefaultRetainJobs,
+			"completed jobs kept pollable before eviction")
+		retainAge = flag.Duration("retain-age", service.DefaultRetainAge,
+			"minimum age before a completed job may be evicted")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long shutdown waits for running jobs to checkpoint")
 	)
 	flag.Parse()
 
@@ -38,7 +60,50 @@ func main() {
 	if err != nil {
 		log.Fatalf("leakserved: %v", err)
 	}
-	sched := service.New(st, *workers)
-	log.Printf("leakserved: listening on %s (store %q)", *addr, *dir)
-	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(sched)))
+	sched := service.NewWithOptions(st, service.Options{
+		Workers:    *workers,
+		MaxPending: *maxPending,
+		RetainJobs: *retainJobs,
+		RetainAge:  *retainAge,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(sched),
+		// Slowloris / stuck-client protection. WriteTimeout stays 0: the
+		// ND-JSON /v1/stream endpoint legitimately writes for as long as a
+		// job runs.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("leakserved: listening on %s (store %q, %d max pending)", *addr, *dir, *maxPending)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("leakserved: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	log.Printf("leakserved: draining (up to %v)...", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain jobs: running jobs cancel
+	// at the next unit boundary and checkpoint completed units to the store.
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("leakserved: http shutdown: %v", err)
+	}
+	if err := sched.Shutdown(dctx); err != nil {
+		log.Printf("leakserved: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("leakserved: %v", err)
+	}
+	log.Printf("leakserved: drained clean")
 }

@@ -1,0 +1,178 @@
+// Package chaos is the deterministic fault injector behind the sweep
+// service's robustness tests. An Injector rolls seeded dice at named fault
+// sites — store reads and writes, persisted-entry corruption (torn writes),
+// unit-chunk worker panics and injected latency — and the service and store
+// consult it through narrow interfaces (store.FaultInjector,
+// service.ChunkFaultInjector) that cost a nil check when chaos is off.
+//
+// Determinism: every decision is a pure function of (Config.Seed, fault
+// kind, site, per-site attempt number). Retrying the same site advances its
+// attempt counter, so probabilistic faults cannot pin one operation forever;
+// re-running the same fault schedule under the same seed reproduces the same
+// coverage regardless of goroutine interleaving across distinct sites.
+//
+// The headline property the injector exists to validate does not depend on
+// any of that: because work units are independently seeded and tallies over
+// disjoint unit sets merge bit-exactly, any fault the service survives by
+// retry or re-issue leaves completed results bit-identical to a fault-free
+// run.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected I/O error, so tests
+// and logs can tell synthetic faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config sets the per-site fault probabilities (0 disables a fault kind).
+type Config struct {
+	// Seed selects the deterministic decision stream.
+	Seed uint64
+	// StoreReadErr / StoreWriteErr are the probabilities that a store read /
+	// persist returns a transient I/O error.
+	StoreReadErr  float64
+	StoreWriteErr float64
+	// TornWrite is the probability that a persisted entry is truncated on
+	// disk (the write itself "succeeds"; the damage surfaces as a detected
+	// checksum/decode miss at the next cold read).
+	TornWrite float64
+	// ChunkPanic is the probability that a unit-chunk worker panics before
+	// simulating.
+	ChunkPanic float64
+	// ChunkDelayP injects extra latency into a unit chunk with the given
+	// probability; the deterministic delay is uniform in (0, MaxChunkDelay].
+	ChunkDelayP   float64
+	MaxChunkDelay time.Duration
+}
+
+// Stats counts injected faults by kind. All fields are monotone.
+type Stats struct {
+	ReadErrs, WriteErrs, TornWrites, Panics, Delays int64
+}
+
+// Total returns the number of faults injected across all kinds.
+func (s Stats) Total() int64 {
+	return s.ReadErrs + s.WriteErrs + s.TornWrites + s.Panics + s.Delays
+}
+
+// Injector rolls deterministic dice at fault sites. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	seq map[string]uint64 // per-(kind|site) attempt counters
+
+	readErrs, writeErrs, tornWrites, panics, delays atomic.Int64
+}
+
+// New returns an injector over cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, seq: make(map[string]uint64)}
+}
+
+// draw returns a deterministic uniform sample in [0, 1) for the n-th attempt
+// of (kind, site).
+func (in *Injector) draw(kind, site string) float64 {
+	in.mu.Lock()
+	k := kind + "|" + site
+	n := in.seq[k]
+	in.seq[k] = n + 1
+	in.mu.Unlock()
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(in.cfg.Seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(k))
+	for i := range b {
+		b[i] = byte(n >> (8 * i))
+	}
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// StoreRead implements store.FaultInjector: a non-nil return fails the read
+// as a transient I/O error.
+func (in *Injector) StoreRead(key string) error {
+	if p := in.cfg.StoreReadErr; p > 0 && in.draw("read", key) < p {
+		in.readErrs.Add(1)
+		return fmt.Errorf("%w: read %s", ErrInjected, short(key))
+	}
+	return nil
+}
+
+// StoreWrite implements store.FaultInjector: a non-nil return fails the
+// persist as a transient I/O error.
+func (in *Injector) StoreWrite(key string) error {
+	if p := in.cfg.StoreWriteErr; p > 0 && in.draw("write", key) < p {
+		in.writeErrs.Add(1)
+		return fmt.Errorf("%w: write %s", ErrInjected, short(key))
+	}
+	return nil
+}
+
+// CorruptEntry implements store.FaultInjector: it may return a truncated
+// copy of the serialized entry, simulating a torn write that still gets
+// published (crash between write and fsync on a non-atomic filesystem).
+// Roughly one torn write in four is cut to zero bytes.
+func (in *Injector) CorruptEntry(key string, data []byte) []byte {
+	p := in.cfg.TornWrite
+	if p <= 0 || in.draw("torn", key) >= p {
+		return data
+	}
+	in.tornWrites.Add(1)
+	cut := int(in.draw("tornlen", key) * float64(len(data)))
+	if in.draw("tornzero", key) < 0.25 {
+		cut = 0
+	}
+	return data[:cut]
+}
+
+// ChunkFaults implements service.ChunkFaultInjector for the unit range
+// [lo, hi): it may sleep (injected latency) and may panic (worker crash).
+// The chunk runner recovers the panic and the scheduler re-issues the units,
+// so exactness is preserved by the disjoint covered-unit bitsets.
+func (in *Injector) ChunkFaults(lo, hi int) {
+	site := fmt.Sprintf("%d-%d", lo, hi)
+	if p := in.cfg.ChunkDelayP; p > 0 && in.draw("delay", site) < p {
+		in.delays.Add(1)
+		d := time.Duration(in.draw("delaylen", site) * float64(in.cfg.MaxChunkDelay))
+		time.Sleep(d)
+	}
+	if p := in.cfg.ChunkPanic; p > 0 && in.draw("panic", site) < p {
+		in.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected worker panic in units [%d, %d)", lo, hi))
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		ReadErrs:   in.readErrs.Load(),
+		WriteErrs:  in.writeErrs.Load(),
+		TornWrites: in.tornWrites.Load(),
+		Panics:     in.panics.Load(),
+		Delays:     in.delays.Load(),
+	}
+}
+
+// String renders the counters for logs and examples.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d torn=%d panics=%d delays=%d",
+		s.ReadErrs, s.WriteErrs, s.TornWrites, s.Panics, s.Delays)
+}
+
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministicDecisions: two injectors over the same seed must
+// make identical decisions at identical sites, and a different seed must
+// diverge somewhere.
+func TestChaosDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 42, StoreReadErr: 0.3, StoreWriteErr: 0.3, TornWrite: 0.5}
+	a, b := New(cfg), New(cfg)
+	diffCfg := cfg
+	diffCfg.Seed = 43
+	c := New(diffCfg)
+
+	diverged := false
+	for i := 0; i < 200; i++ {
+		key := string(rune('a' + i%7))
+		ea, eb := a.StoreRead(key), b.StoreRead(key)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("same seed diverged on read %q attempt %d", key, i)
+		}
+		if (ea == nil) != (c.StoreRead(key) == nil) {
+			diverged = true
+		}
+		wa, wb := a.StoreWrite(key), b.StoreWrite(key)
+		if (wa == nil) != (wb == nil) {
+			t.Fatalf("same seed diverged on write %q attempt %d", key, i)
+		}
+		data := []byte(`{"tally": "0123456789abcdef"}`)
+		if got, want := a.CorruptEntry(key, data), b.CorruptEntry(key, data); len(got) != len(want) {
+			t.Fatalf("same seed tore %q to different lengths: %d vs %d", key, len(got), len(want))
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged in 200 draws at p=0.3")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same-seed stats differ: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+// TestChaosRetriesEventuallySucceed: per-site attempt counters advance, so a
+// p<1 fault cannot pin one site forever — the retry loop the service runs
+// must terminate.
+func TestChaosRetriesEventuallySucceed(t *testing.T) {
+	in := New(Config{Seed: 7, StoreWriteErr: 0.9})
+	for attempt := 0; attempt < 200; attempt++ {
+		if in.StoreWrite("stuck-key") == nil {
+			if attempt == 0 {
+				continue // first roll passing is fine too
+			}
+			return
+		}
+	}
+	t.Fatal("write to one site failed 200 consecutive times at p=0.9")
+}
+
+// TestChaosInjectedErrorsAreMarked: injected I/O errors must unwrap to
+// ErrInjected so logs and tests can tell them from real faults.
+func TestChaosInjectedErrorsAreMarked(t *testing.T) {
+	in := New(Config{Seed: 1, StoreReadErr: 1})
+	err := in.StoreRead("k")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected read error %v does not wrap ErrInjected", err)
+	}
+	if in.Stats().ReadErrs != 1 {
+		t.Fatalf("stats = %v, want one read error", in.Stats())
+	}
+}
+
+// TestChaosTornWriteTruncates: at p=1 every entry is cut strictly shorter,
+// and zero-probability injectors return the data untouched.
+func TestChaosTornWriteTruncates(t *testing.T) {
+	in := New(Config{Seed: 3, TornWrite: 1})
+	data := []byte(`{"key":"x","tally":{"shots":64}}`)
+	sawZero := false
+	for i := 0; i < 64; i++ {
+		got := in.CorruptEntry(string(rune('a'+i)), data)
+		if len(got) >= len(data) {
+			t.Fatalf("torn write did not truncate: %d >= %d", len(got), len(data))
+		}
+		if len(got) == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Fatal("no torn write truncated to zero bytes in 64 draws")
+	}
+
+	off := New(Config{Seed: 3})
+	if got := off.CorruptEntry("a", data); len(got) != len(data) {
+		t.Fatal("disabled injector mutated the entry")
+	}
+	if off.StoreRead("a") != nil || off.StoreWrite("a") != nil {
+		t.Fatal("disabled injector injected an error")
+	}
+	if n := off.Stats().Total(); n != 0 {
+		t.Fatalf("disabled injector counted %d faults", n)
+	}
+}
+
+// TestChaosChunkDelayBounded: injected latency stays within MaxChunkDelay.
+func TestChaosChunkDelayBounded(t *testing.T) {
+	in := New(Config{Seed: 9, ChunkDelayP: 1, MaxChunkDelay: 5 * time.Millisecond})
+	start := time.Now()
+	in.ChunkFaults(0, 4)
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Fatalf("injected delay %v way above the 5ms bound", d)
+	}
+	if in.Stats().Delays != 1 {
+		t.Fatalf("stats = %v, want one delay", in.Stats())
+	}
+}

@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -198,7 +199,7 @@ func Run(cfg Config) Result {
 	// The final unit is truncated to cfg.Shots, preserving the historical
 	// contract that Result.Shots == cfg.Shots even when Shots is not a
 	// multiple of the batch width.
-	t := runUnitRange(cfg, 0, cfg.NumUnits(), cfg.Shots)
+	t := runUnitRange(context.Background(), cfg, 0, cfg.NumUnits(), cfg.Shots)
 	return t.ResultFor(cfg)
 }
 
@@ -207,12 +208,25 @@ func Run(cfg Config) Result {
 // from disjoint ranges of the same config merge exactly — this is the
 // store/service entry point for incremental and adaptive execution.
 func RunUnits(cfg Config, lo, hi int) *Tally {
-	return runUnitRange(cfg, lo, hi, hi*cfg.UnitShots())
+	return runUnitRange(context.Background(), cfg, lo, hi, hi*cfg.UnitShots())
+}
+
+// RunUnitsCtx is RunUnits with cooperative cancellation at unit boundaries:
+// when ctx is cancelled (deadline, Job.Cancel, server drain), workers stop
+// before starting their next unit and the partial tally — covering exactly
+// the units that finished — is returned alongside ctx's error. Partial
+// tallies keep the merge-exactness contract (their covered-unit bitset is a
+// subset of [lo, hi)), so the service can checkpoint them into the store and
+// a later run re-issues only the remainder. Units are never abandoned
+// mid-flight: a unit either completes and is covered, or never starts.
+func RunUnitsCtx(ctx context.Context, cfg Config, lo, hi int) (*Tally, error) {
+	t := runUnitRange(ctx, cfg, lo, hi, hi*cfg.UnitShots())
+	return t, ctx.Err()
 }
 
 // runUnitRange simulates units [lo, hi), with total shot count clamped to
 // shotsCap (the last unit runs fewer lanes when shotsCap cuts into it).
-func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
+func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally {
 	rounds := cfg.rounds()
 	unitShots := cfg.UnitShots()
 	if lo < 0 || hi < lo {
@@ -276,11 +290,11 @@ func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 			defer wg.Done()
 			switch {
 			case useBatch && staticPlans(cfg.Policy):
-				runBatchWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			case useBatch:
-				runBatchLaneWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchLaneWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			default:
-				runWorker(cfg, layout, dec, rounds, np, rates, seeds, lo, hi, w, workers, acc)
+				runWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, w, workers, acc)
 			}
 		}(w)
 	}
@@ -295,7 +309,7 @@ func runUnitRange(cfg Config, lo, hi, shotsCap int) *Tally {
 	return total
 }
 
-func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+func runWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	rounds int, np noise.Params, rates *device.Rates, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
@@ -309,6 +323,11 @@ func runWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	var s *sim.Simulator
 
 	for shot := lo + w; shot < hi; shot += stride {
+		// Cancellation is checked only between units: a unit either runs to
+		// completion and is covered, or never starts.
+		if ctx.Err() != nil {
+			return
+		}
 		acc.Covered.Add(shot)
 		acc.Shots++
 		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
@@ -421,7 +440,7 @@ func finishBatch(bs *batch.Simulator, builder *circuit.Builder, dec decoder.Engi
 // detection events fanned out to per-lane lists for decoding. Static
 // policies plan identically for every lane, so one plan and one op sequence
 // per round serve the whole batch.
-func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
@@ -432,6 +451,9 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	kstabs := kindStabs(layout, cfg.Basis)
 
 	for b := lo + w; b < hi; b += stride {
+		if ctx.Err() != nil {
+			return
+		}
 		lanes := batch.Lanes
 		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem
@@ -481,7 +503,7 @@ func runBatchWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 // lane shares the syndrome-extraction skeleton, only the LRC ops differ by
 // lane — and the engine's event, readout and ground-truth words are fanned
 // back out to the per-lane instances.
-func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
 	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
@@ -493,6 +515,9 @@ func runBatchLaneWorker(cfg Config, layout *surfacecode.Layout, dec decoder.Engi
 	kstabs := kindStabs(layout, cfg.Basis)
 
 	for b := lo + w; b < hi; b += stride {
+		if ctx.Err() != nil {
+			return
+		}
 		lanes := batch.Lanes
 		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem

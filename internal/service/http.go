@@ -3,8 +3,11 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,6 +18,10 @@ import (
 	"repro/internal/noise"
 	"repro/internal/surfacecode"
 )
+
+// MaxRequestBytes bounds the /v1/run request body; inline device profiles
+// for large distances fit comfortably under 1 MiB.
+const MaxRequestBytes = 1 << 20
 
 // ConfigSpec is the wire form of experiment.Config: names instead of enum
 // ordinals, and no function-valued fields, so it round-trips through JSON.
@@ -148,38 +155,34 @@ type ResultResponse struct {
 
 // NewHandler returns the HTTP front end over the scheduler:
 //
-//	POST /v1/run     submit a config (+ optional precision); 202 + job handle
-//	GET  /v1/result  ?job=ID — result when done (200), interim status (202)
-//	GET  /v1/stream  ?job=ID — ND-JSON stream of interim tallies until done
-//	GET  /v1/healthz liveness + units-executed counter
+//	POST   /v1/run     submit a config (+ optional precision); 202 + job
+//	                   handle, 429 + Retry-After when the queue is full,
+//	                   503 while draining
+//	DELETE /v1/run     ?job=ID — cancel; completed units stay checkpointed
+//	GET    /v1/result  ?job=ID — result when done (200), interim status
+//	                   (202), 410 once evicted from the retention window
+//	GET    /v1/stream  ?job=ID — ND-JSON stream of interim tallies until done
+//	GET    /v1/healthz liveness + load counters
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
+		switch r.Method {
+		case http.MethodPost:
+			handleSubmit(s, w, r)
+		case http.MethodDelete:
+			job, ok := lookupJob(s, w, r)
+			if !ok {
+				return
+			}
+			job.Cancel()
+			writeJSONStatus(w, http.StatusOK, RunResponse{Job: job.ID, Key: job.Key, Status: job.Status()})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "POST or DELETE only")
 		}
-		var req RunRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
-		cfg, err := req.Config.Config()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad config: %v", err)
-			return
-		}
-		job, err := s.Submit(cfg, req.Precision)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		writeJSONStatus(w, http.StatusAccepted, RunResponse{Job: job.ID, Key: job.Key, Status: job.Status()})
 	})
 	mux.HandleFunc("/v1/result", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := s.Job(r.URL.Query().Get("job"))
+		job, ok := lookupJob(s, w, r)
 		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job %q", r.URL.Query().Get("job"))
 			return
 		}
 		st := job.Status()
@@ -187,23 +190,28 @@ func NewHandler(s *Scheduler) http.Handler {
 		code := http.StatusAccepted
 		switch st.State {
 		case "done":
-			code = http.StatusOK
 			res, err := job.Result()
-			if err == nil {
-				var buf bytes.Buffer
-				if err := res.WriteJSON(&buf); err == nil {
-					resp.Result = buf.Bytes()
-				}
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "job %s: %v", job.ID, err)
+				return
 			}
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				// A result that cannot be encoded is a server failure, not a
+				// silently-empty 200.
+				httpError(w, http.StatusInternalServerError, "job %s: encode result: %v", job.ID, err)
+				return
+			}
+			resp.Result = buf.Bytes()
+			code = http.StatusOK
 		case "error":
 			code = http.StatusInternalServerError
 		}
 		writeJSONStatus(w, code, resp)
 	})
 	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := s.Job(r.URL.Query().Get("job"))
+		job, ok := lookupJob(s, w, r)
 		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job %q", r.URL.Query().Get("job"))
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -235,19 +243,86 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSONStatus(w, http.StatusOK, map[string]any{
 			"ok":             true,
 			"units_executed": s.UnitsExecuted(),
+			"pending_jobs":   s.Pending(),
+			"draining":       s.Draining(),
 		})
 	})
 	return mux
+}
+
+// handleSubmit decodes and admits one POST /v1/run request, mapping
+// scheduler refusals onto distinct status codes: 413 for oversized bodies,
+// 429 + Retry-After for load shedding, 503 + Retry-After while draining.
+func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body over %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
+	job, err := s.Submit(cfg, req.Precision)
+	if err != nil {
+		var ov *OverloadError
+		switch {
+		case errors.As(err, &ov):
+			w.Header().Set("Retry-After", strconv.Itoa(int(ov.RetryAfter/time.Second)))
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, RunResponse{Job: job.ID, Key: job.Key, Status: job.Status()})
+}
+
+// lookupJob resolves ?job=ID, answering 404 for IDs this scheduler never
+// issued and 410 for jobs that have aged out of the retention window — a
+// client polling an evicted job deserves a different answer than one
+// guessing handles.
+func lookupJob(s *Scheduler, w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.URL.Query().Get("job")
+	job, state := s.Lookup(id)
+	switch state {
+	case JobFound:
+		return job, true
+	case JobEvicted:
+		httpError(w, http.StatusGone, "job %q evicted from the retention window; re-submit the config (identical requests are answered from the store)", id)
+	default:
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return nil, false
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSONStatus(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeJSONStatus encodes v before writing any status, so an encoding
+// failure becomes a 500 instead of a silently truncated 200, and write
+// failures (client gone mid-response) are at least logged.
 func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		code = http.StatusInternalServerError
+		data = []byte(`{"error": "encode response"}`)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		log.Printf("service: write %d response: %v", code, err)
+	}
 }

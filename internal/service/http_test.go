@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -172,6 +173,161 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerRejectsOversizedBody: /v1/run bodies over MaxRequestBytes are
+// refused with 413 instead of being buffered without bound.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	srv, _ := newTestServer(t)
+	huge := `{"config": {"distance": 3, "p": 0.002, "shots": 64, "policy": "eraser", "profile_spec": "` +
+		strings.Repeat("a", MaxRequestBytes+1024) + `"}}`
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServerDeleteCancelsJob: DELETE /v1/run?job=ID cancels a running job;
+// its result endpoint then reports the cancellation as a job error, and
+// deleting an unknown handle is a 404.
+func TestServerDeleteCancelsJob(t *testing.T) {
+	srv, sched := newTestServer(t)
+	blocker := &blockingInjector{release: make(chan struct{}), started: make(chan struct{}, 1)}
+	sched.SetFaults(blocker)
+
+	rr := submit(t, srv, smokeBody)
+	<-blocker.started // the job is wedged mid-chunk
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/run?job="+rr.Job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE running job: status %d, want 200", resp.StatusCode)
+	}
+	close(blocker.release)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/result?job=" + rr.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res ResultResponse
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status.State == "error" {
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Fatalf("failed job result: status %d, want 500", resp.StatusCode)
+			}
+			if !strings.Contains(res.Status.Error, "canceled") {
+				t.Fatalf("cancelled job error %q does not mention cancellation", res.Status.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reported cancellation; state %q", res.Status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/v1/run?job=nope", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerShedsWithRetryAfter: over-capacity cold submissions answer 429
+// with a Retry-After header, while a warm (store-satisfied) request on the
+// same saturated server still completes as a cache hit.
+func TestServerShedsWithRetryAfter(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewWithOptions(st, Options{Workers: 1, MaxPending: 1})
+	srv := httptest.NewServer(NewHandler(sched))
+	t.Cleanup(srv.Close)
+
+	warmBody := `{"config": {"distance": 3, "cycles": 2, "p": 0.002, "shots": 128,
+	              "seed": 40, "policy": "always"}}`
+	warm := submit(t, srv, warmBody)
+	pollDone(t, srv, warm.Job)
+
+	blocker := &blockingInjector{release: make(chan struct{}), started: make(chan struct{}, 1)}
+	sched.SetFaults(blocker)
+	coldBody := func(seed int) string {
+		return `{"config": {"distance": 3, "cycles": 2, "p": 0.002, "shots": 128,
+		         "seed": ` + strconv.Itoa(seed) + `, "policy": "always"}}`
+	}
+	cold := submit(t, srv, coldBody(41))
+	<-blocker.started // pool saturated, pending queue full
+
+	resp, err := http.Post(srv.URL+"/v1/run", "application/json", strings.NewReader(coldBody(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response carries no Retry-After header")
+	}
+
+	warm2 := submit(t, srv, warmBody)
+	if res := pollDone(t, srv, warm2.Job); !res.Status.Cached {
+		t.Fatal("warm request on saturated server was not served from cache")
+	}
+
+	close(blocker.release)
+	pollDone(t, srv, cold.Job)
+}
+
+// TestServerEvictedJobAnswers410: polling a job that aged out of the
+// retention window is 410 Gone — a different answer than a guessed handle.
+func TestServerEvictedJobAnswers410(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewWithOptions(st, Options{RetainJobs: 1, RetainAge: time.Nanosecond})
+	srv := httptest.NewServer(NewHandler(sched))
+	t.Cleanup(srv.Close)
+
+	first := submit(t, srv, `{"config": {"distance": 3, "cycles": 1, "p": 0.002, "shots": 64,
+	                          "seed": 45, "policy": "nolrc"}}`)
+	pollDone(t, srv, first.Job)
+	time.Sleep(2 * time.Millisecond) // pass the age floor
+	second := submit(t, srv, `{"config": {"distance": 3, "cycles": 1, "p": 0.002, "shots": 64,
+	                           "seed": 46, "policy": "nolrc"}}`)
+	pollDone(t, srv, second.Job)
+
+	resp, err := http.Get(srv.URL + "/v1/result?job=" + first.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted job: status %d, want 410", resp.StatusCode)
 	}
 }
 

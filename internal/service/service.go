@@ -9,14 +9,34 @@
 // consulted before any unit runs, a warm-cache request executes zero
 // simulation units, and a request for higher precision extends the stored
 // tally instead of redoing it.
+//
+// The scheduler is built to keep working on misbehaving infrastructure:
+//
+//   - Cancellation & deadlines — every job carries a context; Job.Cancel,
+//     Precision.TimeoutMS and server drain all stop work at the next unit
+//     boundary, checkpointing completed units into the store.
+//   - Admission control — cold jobs admitted beyond Options.MaxPending are
+//     shed with an OverloadError (HTTP 429 + Retry-After); requests the
+//     store already satisfies bypass admission entirely, so cached traffic
+//     keeps flowing when cold traffic saturates the pool.
+//   - Fault tolerance — transient store failures retry with capped
+//     exponential backoff + jitter, and a crashed or cancelled unit chunk is
+//     simply re-issued: units are independently seeded and tallies over
+//     disjoint unit sets merge bit-exactly, so recovery never changes a
+//     completed job's numbers.
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand/v2"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/store"
@@ -34,6 +54,10 @@ type Precision struct {
 	MinShots int `json:"min_shots,omitempty"`
 	// MaxShots caps the budget of a hard point (default 1<<20).
 	MaxShots int `json:"max_shots,omitempty"`
+	// TimeoutMS is the job's wall-clock deadline in milliseconds (0 = none).
+	// An expired job fails with context.DeadlineExceeded, keeping every unit
+	// merged so far — a re-run covers only the remainder.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Adaptive reports whether the precision selects CI-targeted allocation.
@@ -58,44 +82,132 @@ func (p Precision) bounds(unitShots int) (minShots, maxShots int) {
 	return minShots, maxShots
 }
 
+// Scheduler-level sentinel causes and errors.
+var (
+	// ErrCanceled is the cancellation cause set by Job.Cancel.
+	ErrCanceled = errors.New("canceled by client")
+	// ErrDraining is returned by Submit (and set as the cancellation cause
+	// of running jobs) once Shutdown has begun.
+	ErrDraining = errors.New("server draining")
+)
+
+// OverloadError is returned by Submit when the cold-job admission queue is
+// full. RetryAfter is the suggested client backoff.
+type OverloadError struct {
+	Pending    int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%d jobs pending), retry in %v", e.Pending, e.RetryAfter)
+}
+
+// Options configures a Scheduler beyond the worker-pool width.
+type Options struct {
+	// Workers is the worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// MaxPending bounds admitted-but-unfinished cold jobs; submissions over
+	// the bound are shed with an OverloadError. Warm requests (already
+	// satisfied by the store) bypass the bound. 0 = DefaultMaxPending.
+	MaxPending int
+	// RetainJobs caps completed jobs kept pollable (0 = DefaultRetainJobs).
+	RetainJobs int
+	// RetainAge is the eviction age floor: a completed job is never evicted
+	// before it has been done this long, even over the RetainJobs cap — so a
+	// client holding a fresh job ID cannot lose it to a burst of completions
+	// between submit and poll. 0 = DefaultRetainAge.
+	RetainAge time.Duration
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxPending = 256
+	DefaultRetainJobs = 1024
+	DefaultRetainAge  = time.Minute
+)
+
+// Retry policy for transient store failures and crashed unit chunks.
+const (
+	storeAttempts    = 5
+	maxChunkAttempts = 12
+	backoffBase      = 2 * time.Millisecond
+	backoffMax       = 250 * time.Millisecond
+)
+
+// ChunkFaultInjector is the chunk runner's chaos hook (see internal/chaos):
+// called with each unit range about to simulate, it may inject latency or
+// panic. A nil injector — the production configuration — costs one atomic
+// load per chunk.
+type ChunkFaultInjector interface {
+	ChunkFaults(lo, hi int)
+}
+
+type faultBox struct{ f ChunkFaultInjector }
+
 // Scheduler owns the worker pool, the in-flight job table, and the store.
 type Scheduler struct {
 	store *store.Store
+	opts  Options
 	// sem is the worker-pool semaphore: at most cap(sem) units simulate at
 	// once across all jobs.
 	sem chan struct{}
+
+	// baseCtx parents every job context; cancelBase(ErrDraining) is the
+	// drain signal.
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
 
 	mu       sync.Mutex
 	inflight map[string]*Job
 	jobs     map[string]*Job
 	// finished is the completion-order FIFO behind the retention cap: a
 	// long-running server must not grow s.jobs without bound.
-	finished []string
+	finished []*Job
 	nextID   int
+	pending  int // admitted cold jobs not yet finished
+	draining bool
+	wg       sync.WaitGroup // one count per execute goroutine
 
 	// keyLocks stripes per-key work serialization over a fixed array —
 	// bounded memory under unbounded distinct keys, at the cost of
-	// occasional false sharing between keys on the same stripe.
+	// occasional false sharing between keys on the same stripe. The lock is
+	// held per chunk, not per job, so a long adaptive job cannot monopolize
+	// its stripe for its whole lifetime.
 	keyLocks [64]sync.Mutex
 
-	units atomic.Int64
+	units  atomic.Int64
+	faults atomic.Value // faultBox
 }
 
-// maxRetainedJobs bounds how many completed jobs stay pollable; the oldest
-// are evicted first. In-flight jobs are never evicted.
-const maxRetainedJobs = 1024
-
 // New returns a scheduler over st with the given worker-pool width
-// (0 = GOMAXPROCS).
+// (0 = GOMAXPROCS) and default admission/retention options.
 func New(st *store.Store, workers int) *Scheduler {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewWithOptions(st, Options{Workers: workers})
+}
+
+// NewWithOptions returns a scheduler over st configured by opts.
+func NewWithOptions(st *store.Store, opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = DefaultRetainJobs
+	}
+	if opts.RetainAge <= 0 {
+		opts.RetainAge = DefaultRetainAge
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
 	return &Scheduler{
-		store:    st,
-		sem:      make(chan struct{}, workers),
-		inflight: make(map[string]*Job),
-		jobs:     make(map[string]*Job),
+		store:      st,
+		opts:       opts,
+		sem:        make(chan struct{}, opts.Workers),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		inflight:   make(map[string]*Job),
+		jobs:       make(map[string]*Job),
 	}
 }
 
@@ -107,6 +219,31 @@ func (s *Scheduler) Store() *store.Store { return s.store }
 // figure-level cache tests assert exactly that.
 func (s *Scheduler) UnitsExecuted() int64 { return s.units.Load() }
 
+// Pending returns the number of admitted cold jobs not yet finished.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// SetFaults installs (or, with nil, removes) a chunk-level fault injector.
+// Intended for chaos tests and the chaossweep example; call before serving.
+func (s *Scheduler) SetFaults(f ChunkFaultInjector) { s.faults.Store(faultBox{f}) }
+
+func (s *Scheduler) loadFaults() ChunkFaultInjector {
+	if b, ok := s.faults.Load().(faultBox); ok {
+		return b.f
+	}
+	return nil
+}
+
 // Job is one submitted experiment request.
 type Job struct {
 	// ID is the scheduler-scoped job handle; Key the config content address.
@@ -116,12 +253,20 @@ type Job struct {
 	cfg  experiment.Config
 	prec Precision
 	done chan struct{}
+	warm bool
+
+	// ctx governs the job's work; cancel sets the cancellation cause
+	// (ErrCanceled, ErrDraining) and stopTimer releases the deadline timer.
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc
 
 	mu       sync.Mutex
 	tally    *experiment.Tally
 	result   *experiment.Result
 	err      error
 	unitsRun int
+	doneAt   time.Time
 }
 
 // Status is a point-in-time snapshot of a job, also the service's interim
@@ -143,6 +288,13 @@ type Status struct {
 
 // Done is closed when the job completes (successfully or not).
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel asks the job to stop at the next unit boundary. Completed units
+// stay merged in the store (checkpoint), so a later identical request covers
+// only the remainder; the job itself finishes in state "error" with a
+// cancellation cause. Cancelling a deduplicated job cancels it for every
+// submitter sharing it.
+func (j *Job) Cancel() { j.cancel(ErrCanceled) }
 
 // Result returns the finished result. It blocks until the job completes.
 func (j *Job) Result() (experiment.Result, error) {
@@ -199,6 +351,12 @@ func (j *Job) setTally(t *experiment.Tally) {
 	j.mu.Unlock()
 }
 
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.err = err
+	j.mu.Unlock()
+}
+
 func validate(cfg experiment.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -209,6 +367,9 @@ func validate(cfg experiment.Config) error {
 // Submit enqueues the request and returns its job. An identical request
 // (same config key, shot target and precision) already in flight is
 // deduplicated: the existing job is returned instead of scheduling new work.
+// Submissions are refused with ErrDraining once Shutdown has begun, and cold
+// submissions (those the store cannot already satisfy) are shed with an
+// OverloadError when MaxPending jobs are pending.
 func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
@@ -222,12 +383,26 @@ func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) 
 	if err != nil {
 		return nil, err
 	}
-	fp := fmt.Sprintf("%s|%d|%g|%d|%d", key, cfg.Shots,
-		prec.TargetCIHalfWidth, prec.MinShots, prec.MaxShots)
+	fp := fmt.Sprintf("%s|%d|%g|%d|%d|%d", key, cfg.Shots,
+		prec.TargetCIHalfWidth, prec.MinShots, prec.MaxShots, prec.TimeoutMS)
+	// Peek the store outside s.mu (it may hit the disk): a request the store
+	// already satisfies is warm and bypasses admission control, so cached
+	// traffic keeps flowing when cold traffic has saturated the queue.
+	warm := s.satisfied(cfg, prec, key)
+
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: %w", ErrDraining)
+	}
 	if j, ok := s.inflight[fp]; ok {
 		s.mu.Unlock()
 		return j, nil
+	}
+	if !warm && s.pending >= s.opts.MaxPending {
+		ov := &OverloadError{Pending: s.pending, RetryAfter: s.retryAfterLocked()}
+		s.mu.Unlock()
+		return nil, ov
 	}
 	s.nextID++
 	j := &Job{
@@ -236,20 +411,83 @@ func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) 
 		cfg:  cfg,
 		prec: prec,
 		done: make(chan struct{}),
+		warm: warm,
+	}
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	stopTimer := func() {}
+	if prec.TimeoutMS > 0 {
+		ctx, stopTimer = context.WithTimeout(ctx, time.Duration(prec.TimeoutMS)*time.Millisecond)
+	}
+	j.ctx, j.cancel, j.stopTimer = ctx, cancel, stopTimer
+	if !warm {
+		s.pending++
 	}
 	s.inflight[fp] = j
 	s.jobs[j.ID] = j
+	s.wg.Add(1)
 	s.mu.Unlock()
 	go s.execute(j, fp)
 	return j, nil
 }
 
+// satisfied reports whether the store already holds enough units for the
+// request (a warm hit). Transient read errors count as cold — admission is
+// the only consumer, and cold is the safe direction.
+func (s *Scheduler) satisfied(cfg experiment.Config, prec Precision, key string) bool {
+	t, err := s.store.Lookup(key)
+	if err != nil || t == nil {
+		return false
+	}
+	return needUnits(cfg, prec, t) == 0
+}
+
+// retryAfterLocked estimates how long a shed client should wait: roughly the
+// queue depth over the pool width, clamped to [1s, 60s]. Callers hold s.mu.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	d := time.Duration(s.pending/s.opts.Workers) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// JobState classifies a job-ID lookup.
+type JobState int
+
+const (
+	// JobUnknown: the ID was never issued by this scheduler.
+	JobUnknown JobState = iota
+	// JobFound: the job is available.
+	JobFound
+	// JobEvicted: the ID was issued, but the completed job has since been
+	// evicted from the retention window.
+	JobEvicted
+)
+
 // Job looks a job up by ID.
 func (s *Scheduler) Job(id string) (*Job, bool) {
+	j, st := s.Lookup(id)
+	return j, st == JobFound
+}
+
+// Lookup looks a job up by ID, distinguishing "never issued" from "issued
+// but evicted from the retention window" — clients polling an evicted job
+// deserve a different answer than clients guessing IDs.
+func (s *Scheduler) Lookup(id string) (*Job, JobState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	if j, ok := s.jobs[id]; ok {
+		return j, JobFound
+	}
+	if len(id) > 1 && id[0] == 'j' {
+		if n, err := strconv.Atoi(id[1:]); err == nil && n >= 1 && n <= s.nextID {
+			return nil, JobEvicted
+		}
+	}
+	return nil, JobUnknown
 }
 
 // Run submits the request and blocks until its result is available.
@@ -275,6 +513,33 @@ func (s *Scheduler) Runner(prec Precision) func(experiment.Config) experiment.Re
 	}
 }
 
+// Shutdown drains the scheduler: no new submissions are admitted, running
+// jobs are cancelled with cause ErrDraining — each finishes its in-flight
+// units and checkpoints them into the store — and Shutdown returns once
+// every job goroutine has exited (or ctx expires). Store writes are
+// synchronous with merging, so a clean drain leaves nothing to flush: a
+// restarted server re-runs only units no job had completed.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.cancelBase(ErrDraining)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown incomplete: %w", ctx.Err())
+	}
+}
+
 func (s *Scheduler) keyLock(key string) *sync.Mutex {
 	h := fnv.New64a()
 	h.Write([]byte(key))
@@ -283,94 +548,224 @@ func (s *Scheduler) keyLock(key string) *sync.Mutex {
 
 // execute drives one job to completion: consult the store, issue unit chunks
 // until the stopping rule fires, merge every chunk back into the store.
+// Transient failures (store I/O, crashed chunks) back off and retry;
+// cancellation, deadline expiry and drain stop the loop at the next unit
+// boundary with everything completed so far already checkpointed.
 func (s *Scheduler) execute(j *Job, fp string) {
+	defer s.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			j.mu.Lock()
-			j.err = fmt.Errorf("service: job %s: %v", j.ID, r)
-			j.mu.Unlock()
+			j.fail(fmt.Errorf("service: job %s: %v", j.ID, r))
 		}
+		j.stopTimer()
+		j.cancel(nil) // release the context; no-op if already cancelled
 		s.mu.Lock()
 		delete(s.inflight, fp)
-		s.finished = append(s.finished, j.ID)
-		for len(s.finished) > maxRetainedJobs {
-			delete(s.jobs, s.finished[0])
+		if !j.warm {
+			s.pending--
+		}
+		j.doneAt = time.Now()
+		s.finished = append(s.finished, j)
+		// Evict beyond the retention cap, oldest first, but never a job
+		// younger than the age floor: a client that just submitted must get
+		// a grace window to poll its result even under a completion burst.
+		for len(s.finished) > s.opts.RetainJobs &&
+			time.Since(s.finished[0].doneAt) > s.opts.RetainAge {
+			delete(s.jobs, s.finished[0].ID)
 			s.finished = s.finished[1:]
 		}
 		s.mu.Unlock()
 		close(j.done)
 	}()
 
-	// Work on one key is serialized so concurrent jobs never compute
-	// overlapping units: the second job waits, re-reads the store, and
-	// usually finds its request already satisfied.
-	kl := s.keyLock(j.Key)
-	kl.Lock()
-	defer kl.Unlock()
-
-	cfg := j.cfg
-	tally := s.store.Get(j.Key)
-	if tally == nil {
-		tally = experiment.NewTally(cfg.NumRounds(), cfg.UnitShots())
-	}
-	j.setTally(tally)
-
+	var tally *experiment.Tally
+	attempts := 0
 	for {
-		chunk := j.nextChunk(tally)
-		if chunk == 0 {
-			break
-		}
-		// Units fill as a prefix; clamp the chunk to the contiguous
-		// uncovered run so a merge can never overlap.
-		lo := tally.Covered.FirstGap(0)
-		hi := lo
-		for hi < lo+chunk && !tally.Covered.Contains(hi) {
-			hi++
-		}
-		delta, err := s.runChunk(cfg, lo, hi)
-		if err == nil {
-			err = tally.Merge(delta)
-		}
-		if err == nil {
-			_, err = s.store.Merge(j.Key, cfg.Describe(), delta)
-		}
-		if err != nil {
-			j.mu.Lock()
-			j.err = err
-			j.mu.Unlock()
+		if j.ctx.Err() != nil {
+			j.fail(fmt.Errorf("service: job %s: %w", j.ID, context.Cause(j.ctx)))
 			return
 		}
-		s.units.Add(int64(hi - lo))
-		j.mu.Lock()
-		j.unitsRun += hi - lo
-		j.mu.Unlock()
-		j.setTally(tally)
+		t, ran, done, err := s.step(j)
+		if ran > 0 {
+			s.units.Add(int64(ran))
+			j.mu.Lock()
+			j.unitsRun += ran
+			j.mu.Unlock()
+		}
+		if t != nil {
+			tally = t
+			j.setTally(t)
+		}
+		if err != nil {
+			if j.ctx.Err() != nil {
+				continue // loop top reports the cancellation cause
+			}
+			attempts++
+			if attempts >= maxChunkAttempts {
+				j.fail(fmt.Errorf("service: job %s: giving up after %d attempts: %w", j.ID, attempts, err))
+				return
+			}
+			sleepCtx(j.ctx, backoffDelay(attempts))
+			continue
+		}
+		attempts = 0
+		if done {
+			break
+		}
 	}
 
-	res := tally.ResultFor(cfg)
+	res := tally.ResultFor(j.cfg)
 	j.mu.Lock()
 	j.result = &res
 	j.mu.Unlock()
 }
 
-// nextChunk applies the stopping rule to the current tally and returns how
-// many more units to issue (0 = done).
-func (j *Job) nextChunk(t *experiment.Tally) int {
+// step performs one scheduling round: read the stored tally, decide how much
+// more to run, simulate one chunk under the key's stripe lock, and merge the
+// delta back. It returns the freshest tally it saw, how many units it
+// simulated, whether the request is now satisfied, and any error worth
+// retrying. The stripe lock is held only for the duration of one chunk.
+func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, done bool, err error) {
+	cfg := j.cfg
+	fresh := func() *experiment.Tally {
+		return experiment.NewTally(cfg.NumRounds(), cfg.UnitShots())
+	}
+
+	// Warm fast path: if the store already satisfies the request, answer
+	// without touching the stripe lock — cached traffic must not queue
+	// behind a busy stripe.
+	cur, lerr := s.lookupRetry(j.ctx, j.Key)
+	if lerr == nil {
+		if cur == nil {
+			cur = fresh()
+		}
+		if needUnits(cfg, j.prec, cur) == 0 {
+			return cur, 0, true, nil
+		}
+	}
+
+	// Work is needed: serialize on the stripe and re-read, so concurrent
+	// jobs on one key never compute overlapping units.
+	kl := s.keyLock(j.Key)
+	kl.Lock()
+	defer kl.Unlock()
+	cur, lerr = s.lookupRetry(j.ctx, j.Key)
+	if lerr != nil {
+		return nil, 0, false, lerr
+	}
+	if cur == nil {
+		cur = fresh()
+	}
+	chunk := needUnits(cfg, j.prec, cur)
+	if chunk == 0 {
+		return cur, 0, true, nil
+	}
+	// Units fill as a prefix; clamp the chunk to the contiguous uncovered
+	// run so a merge can never overlap.
+	lo := cur.Covered.FirstGap(0)
+	hi := lo
+	for hi < lo+chunk && !cur.Covered.Contains(hi) {
+		hi++
+	}
+	delta, runErr := s.runChunk(j.ctx, cfg, lo, hi)
+	if delta != nil && delta.Covered.Count() > 0 {
+		// Checkpoint whatever completed — even a cancelled or crashed chunk
+		// hands its finished units to the store, and exactness is preserved
+		// because the covered bitsets stay disjoint.
+		ran = delta.Covered.Count()
+		if err := cur.Merge(delta); err != nil {
+			return nil, ran, false, err
+		}
+		if err := s.mergeRetry(j.ctx, j.Key, cfg.Describe(), delta); err != nil {
+			// The units ran but the store never accepted them; drop the
+			// in-memory view so the next step recomputes from the store's
+			// truth instead of serving unmerged state.
+			return nil, ran, false, err
+		}
+	}
+	return cur, ran, false, runErr
+}
+
+// lookupRetry is store.Lookup with capped exponential backoff on transient
+// read failures.
+func (s *Scheduler) lookupRetry(ctx context.Context, key string) (*experiment.Tally, error) {
+	var t *experiment.Tally
+	err := retry(ctx, func() error {
+		var e error
+		t, e = s.store.Lookup(key)
+		return e
+	})
+	return t, err
+}
+
+// mergeRetry is store.Merge with capped exponential backoff on transient
+// write failures. Retrying a failed merge is safe: the store only commits
+// entries whose persist succeeded, so a retried delta never double-counts.
+func (s *Scheduler) mergeRetry(ctx context.Context, key, desc string, delta *experiment.Tally) error {
+	return retry(ctx, func() error {
+		_, err := s.store.Merge(key, desc, delta)
+		return err
+	})
+}
+
+// retry runs op up to storeAttempts times with jittered exponential backoff,
+// aborting early when ctx dies.
+func retry(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 1; attempt <= storeAttempts; attempt++ {
+		if attempt > 1 && !sleepCtx(ctx, backoffDelay(attempt-1)) {
+			return err
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// backoffDelay returns the jittered exponential backoff for the n-th retry
+// (n >= 1): uniform in [d/2, d] with d = base·2^(n-1) capped at backoffMax.
+// The jitter decorrelates clients and jobs retrying against one overloaded
+// store.
+func backoffDelay(attempt int) time.Duration {
+	d := backoffBase << (attempt - 1)
+	if d <= 0 || d > backoffMax {
+		d = backoffMax
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// sleepCtx waits d or until ctx dies; it reports whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// needUnits applies the stopping rule to the current tally and returns how
+// many more units to issue (0 = the request is satisfied).
+func needUnits(cfg experiment.Config, prec Precision, t *experiment.Tally) int {
 	us := t.UnitShots
-	if !j.prec.Adaptive() {
+	if !prec.Adaptive() {
 		// Fixed-count mode: cover Config.Shots, reusing whatever the store
 		// already holds.
-		need := j.cfg.NumUnits()
+		need := cfg.NumUnits()
 		if have := t.Covered.Count(); have < need {
 			return need - have
 		}
 		return 0
 	}
-	minShots, maxShots := j.prec.bounds(us)
+	minShots, maxShots := prec.bounds(us)
 	if t.Shots >= maxShots {
 		return 0
 	}
-	if t.Shots >= minShots && t.HalfWidth(1.96) <= j.prec.TargetCIHalfWidth {
+	if t.Shots >= minShots && t.HalfWidth(1.96) <= prec.TargetCIHalfWidth {
 		return 0
 	}
 	// Grow geometrically: reach MinShots first, then double coverage per
@@ -389,8 +784,11 @@ func (j *Job) nextChunk(t *experiment.Tally) int {
 }
 
 // runChunk simulates units [lo, hi), fanning contiguous subranges across the
-// worker pool, and returns their merged tally.
-func (s *Scheduler) runChunk(cfg experiment.Config, lo, hi int) (*experiment.Tally, error) {
+// worker pool, and returns the merged tally of every unit that completed.
+// On failure (crashed part, cancellation) the partial tally comes back
+// alongside the error so the caller can checkpoint it; the missing units are
+// simply re-issued later — per-unit seeding makes the re-run bit-identical.
+func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi int) (*experiment.Tally, error) {
 	cfg.Workers = 1 // parallelism comes from the pool, one unit stream per task
 	n := hi - lo
 	parts := cap(s.sem)
@@ -416,20 +814,28 @@ func (s *Scheduler) runChunk(cfg experiment.Config, lo, hi int) (*experiment.Tal
 					errs[i] = fmt.Errorf("service: units [%d, %d): %v", a, b, r)
 				}
 			}()
-			s.sem <- struct{}{}
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-s.sem }()
-			tallies[i] = experiment.RunUnits(cfg, a, b)
+			if f := s.loadFaults(); f != nil {
+				f.ChunkFaults(a, b) // may sleep or panic (recovered above)
+			}
+			tallies[i], errs[i] = experiment.RunUnitsCtx(ctx, cfg, a, b)
 		}(i, a, b)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	var total *experiment.Tally
-	for _, t := range tallies {
-		if t == nil {
+	var firstErr error
+	for i := range tallies {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+		t := tallies[i]
+		if t == nil || t.Covered.Count() == 0 {
 			continue
 		}
 		if total == nil {
@@ -440,8 +846,8 @@ func (s *Scheduler) runChunk(cfg experiment.Config, lo, hi int) (*experiment.Tal
 			return nil, err
 		}
 	}
-	if total == nil {
-		return nil, fmt.Errorf("service: empty chunk [%d, %d)", lo, hi)
+	if total == nil && firstErr == nil {
+		firstErr = fmt.Errorf("service: empty chunk [%d, %d)", lo, hi)
 	}
-	return total, nil
+	return total, firstErr
 }

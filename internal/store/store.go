@@ -5,11 +5,15 @@
 // indexes. Because units are independently seeded, merging a new partial
 // tally into a stored one is exact: the store never recomputes, it only
 // extends. Entries persist to disk as one JSON file per key (atomic
-// write-then-rename), so warm-cache sweeps across process restarts run zero
-// simulation units.
+// write-then-rename) with a content checksum over the tally payload, so
+// warm-cache sweeps across process restarts run zero simulation units and a
+// torn or bit-rotted entry is a *detected* miss (recomputed and repaired in
+// place), never silent data loss.
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,8 +32,25 @@ type Entry struct {
 	// Desc is a human-readable config summary for debugging; it is metadata
 	// only and never parsed.
 	Desc string `json:"desc,omitempty"`
-	// Tally is the mergeable accumulation over the covered units.
-	Tally *experiment.Tally `json:"tally"`
+	// Tally is the mergeable accumulation over the covered units, kept as
+	// raw bytes so Sum can be verified before decoding.
+	Tally json.RawMessage `json:"tally"`
+	// Sum is the hex SHA-256 of the raw Tally bytes. A mismatch (torn write,
+	// bit rot, manual edit) demotes the entry to a miss.
+	Sum string `json:"sum"`
+}
+
+// FaultInjector is the store's chaos hook (see internal/chaos). A nil
+// injector — the production configuration — costs one pointer check per
+// operation.
+type FaultInjector interface {
+	// StoreRead may fail a read with a transient I/O error.
+	StoreRead(key string) error
+	// StoreWrite may fail a persist with a transient I/O error.
+	StoreWrite(key string) error
+	// CorruptEntry may mutate (tear) the serialized entry that gets
+	// published to disk.
+	CorruptEntry(key string, data []byte) []byte
 }
 
 // Store is a content-addressed tally store with an in-memory cache and
@@ -42,6 +63,7 @@ type Store struct {
 	// missing caches keys known to be absent on disk so repeated cold Gets
 	// don't stat the filesystem.
 	missing map[string]bool
+	faults  FaultInjector
 }
 
 // Open returns a store rooted at dir, creating it if needed. An empty dir
@@ -62,6 +84,14 @@ func Open(dir string) (*Store, error) {
 // Dir returns the backing directory ("" for memory-only stores).
 func (s *Store) Dir() string { return s.dir }
 
+// SetFaults installs (or, with nil, removes) a fault injector. Intended for
+// chaos tests and the chaossweep example; call before serving traffic.
+func (s *Store) SetFaults(f FaultInjector) {
+	s.mu.Lock()
+	s.faults = f
+	s.mu.Unlock()
+}
+
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
@@ -76,6 +106,13 @@ func (s *Store) load(key string) (*experiment.Tally, error) {
 	if s.dir == "" || s.missing[key] {
 		return nil, nil
 	}
+	if s.faults != nil {
+		if err := s.faults.StoreRead(key); err != nil {
+			// Injected transient failure: surface it exactly like a real one
+			// so the caller's retry path is what gets exercised.
+			return nil, fmt.Errorf("store: read %s: %w", key, err)
+		}
+	}
 	data, err := os.ReadFile(s.path(key))
 	if errors.Is(err, fs.ErrNotExist) {
 		s.missing[key] = true
@@ -87,27 +124,58 @@ func (s *Store) load(key string) (*experiment.Tally, error) {
 		// persisted entry with a fresh delta-only tally.
 		return nil, fmt.Errorf("store: read %s: %w", key, err)
 	}
-	var e Entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Tally == nil {
-		// A corrupt entry is treated as a miss: the service will recompute
-		// and overwrite it.
+	t, ok := decodeEntry(data)
+	if !ok {
+		// A corrupt entry — zero bytes, truncated JSON, checksum mismatch —
+		// is a *detected* miss: the service recomputes and the next Merge
+		// repairs the file in place.
 		s.missing[key] = true
 		return nil, nil
 	}
-	s.entries[key] = e.Tally
-	return e.Tally, nil
+	s.entries[key] = t
+	return t, nil
+}
+
+// decodeEntry parses and checksum-verifies a persisted entry, returning
+// ok=false for any form of corruption.
+func decodeEntry(data []byte) (*experiment.Tally, bool) {
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || len(e.Tally) == 0 {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Tally)
+	if e.Sum != hex.EncodeToString(sum[:]) {
+		return nil, false
+	}
+	var t experiment.Tally
+	if err := json.Unmarshal(e.Tally, &t); err != nil {
+		return nil, false
+	}
+	return &t, true
 }
 
 // Get returns a copy of the tally stored under key, or nil when absent (or
 // momentarily unreadable — a subsequent Merge still refuses to clobber it).
 func (s *Store) Get(key string) *experiment.Tally {
+	t, err := s.Lookup(key)
+	if err != nil || t == nil {
+		return nil
+	}
+	return t
+}
+
+// Lookup is Get with the transient/absent distinction surfaced: (nil, nil)
+// is a definite miss, a non-nil error is a read failure worth retrying —
+// treating it as a miss would make the caller recompute units the store
+// already holds and then fail the extend-only merge.
+func (s *Store) Lookup(key string) (*experiment.Tally, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.load(key)
 	if err != nil || t == nil {
-		return nil
+		return nil, err
 	}
-	return t.Clone()
+	return t.Clone(), nil
 }
 
 // Merge folds delta into the tally stored under key (creating the entry when
@@ -145,9 +213,22 @@ func (s *Store) Merge(key, desc string, delta *experiment.Tally) (*experiment.Ta
 
 // persist writes the entry atomically (temp file + rename); callers hold s.mu.
 func (s *Store) persist(key, desc string, t *experiment.Tally) error {
-	data, err := json.Marshal(Entry{Key: key, Desc: desc, Tally: t})
+	tb, err := json.Marshal(t)
 	if err != nil {
 		return fmt.Errorf("store: marshal %s: %w", key, err)
+	}
+	sum := sha256.Sum256(tb)
+	data, err := json.Marshal(Entry{Key: key, Desc: desc, Tally: tb, Sum: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", key, err)
+	}
+	if s.faults != nil {
+		if err := s.faults.StoreWrite(key); err != nil {
+			return fmt.Errorf("store: write %s: %w", key, err)
+		}
+		// A torn write "succeeds" now and is detected as a checksum miss at
+		// the next cold read of this key.
+		data = s.faults.CorruptEntry(key, data)
 	}
 	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {

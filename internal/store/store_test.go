@@ -1,11 +1,13 @@
 package store
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/experiment"
 )
@@ -95,6 +97,137 @@ func TestStoreGetReturnsCopy(t *testing.T) {
 	got.Covered.Add(999)
 	if again := s.Get(key); again.LogicalErrors == got.LogicalErrors || again.Covered.Contains(999) {
 		t.Fatal("Get returned a live reference into the store")
+	}
+}
+
+// TestStoreChaosCorruptionReadsAsMissAndRepairs covers the torn-write
+// failure model: a truncated JSON entry, a checksum mismatch on an otherwise
+// valid entry, and a zero-byte entry must each read as a detected miss, and
+// a subsequent run repairs the entry in place.
+func TestStoreChaosCorruptionReadsAsMissAndRepairs(t *testing.T) {
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+	full := experiment.RunUnits(cfg, 0, 2)
+
+	corrupt := map[string]func([]byte) []byte{
+		"truncated-json": func(d []byte) []byte { return d[:len(d)-10] },
+		"zero-byte":      func([]byte) []byte { return nil },
+		"checksum-mismatch": func(d []byte) []byte {
+			// Insert whitespace inside the tally payload: the file stays
+			// valid JSON, but the raw tally bytes no longer match Sum.
+			mutated := bytes.Replace(d, []byte(`"shots":`), []byte(`"shots": `), 1)
+			if bytes.Equal(mutated, d) {
+				t.Fatal("mutation did not apply")
+			}
+			return mutated
+		},
+	}
+	for name, mutate := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Merge(key, cfg.Describe(), full.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh store over the damaged file must miss, not serve junk.
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s2.Get(key); got != nil {
+				t.Fatalf("%s entry served as a hit: %+v", name, got)
+			}
+			// Recompute-and-merge repairs the entry in place...
+			if _, err := s2.Merge(key, cfg.Describe(), full.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			// ...and yet another store sees the healthy entry again.
+			s3, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s3.Get(key); !reflect.DeepEqual(full, got) {
+				t.Fatalf("repaired entry differs:\nwant %+v\ngot  %+v", full, got)
+			}
+		})
+	}
+}
+
+// TestStoreChaosInjectedFaults wires a chaos injector into the store:
+// injected read errors surface through Lookup as retryable errors (not
+// misses), injected write errors fail the merge without committing memory
+// state, and a torn write is detected as a miss by the next cold reader.
+func TestStoreChaosInjectedFaults(t *testing.T) {
+	dir := t.TempDir()
+	cfg := storeCfg()
+	key := mustKey(t, cfg)
+	full := experiment.RunUnits(cfg, 0, 2)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merge(key, "", full.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader.SetFaults(chaos.New(chaos.Config{Seed: 11, StoreReadErr: 1}))
+	if _, err := reader.Lookup(key); err == nil {
+		t.Fatal("injected read error did not surface through Lookup")
+	}
+	reader.SetFaults(nil)
+	if got, err := reader.Lookup(key); err != nil || !reflect.DeepEqual(full, got) {
+		t.Fatalf("entry unreadable after clearing faults: %v", err)
+	}
+
+	writer, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer.SetFaults(chaos.New(chaos.Config{Seed: 11, StoreWriteErr: 1}))
+	if _, err := writer.Merge(key, "", full.Clone()); err == nil {
+		t.Fatal("injected write error did not fail the merge")
+	}
+	writer.SetFaults(nil)
+	if writer.Get(key) != nil {
+		t.Fatal("failed merge left a cached entry behind")
+	}
+
+	tornDir := t.TempDir()
+	torn, err := Open(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn.SetFaults(chaos.New(chaos.Config{Seed: 11, TornWrite: 1}))
+	if _, err := torn.Merge(key, "", full.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	// The writer's own memory cache is intact; the damage is on disk.
+	if got := torn.Get(key); !reflect.DeepEqual(full, got) {
+		t.Fatal("torn write damaged the writer's in-memory tally")
+	}
+	cold, err := Open(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.Get(key); got != nil {
+		t.Fatalf("torn entry served to a cold reader: %+v", got)
 	}
 }
 
