@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analytic"
@@ -563,6 +564,88 @@ func BenchmarkStoreWarmVsCold(b *testing.B) {
 		}
 		b.ReportMetric(0, "units_executed")
 	})
+}
+
+// ------------------------------------------------- decode stage vs sim stage
+
+// BenchmarkDecodeVsSim measures the two stages of the lane-parallel pipeline
+// separately on the adaptive (ERASER) workload Figure 14 sweeps:
+//
+//   - "stages" runs the metered unit loop and reports wall time attributed
+//     to simulation versus decoding per shot, plus their ratio. The decode
+//     stage must not dominate (it sits around 4.5x faster than sim on this
+//     workload); the run fails if decoding costs more than simulation,
+//     which would mean the batched decoders regressed toward the allocating
+//     per-shot cost model this pipeline retired.
+//   - "decode-steady" times the batched decode of one pre-filled 64-lane
+//     collector on warmed arenas. It must report 0 allocs/op — CI greps the
+//     -benchmem output, so the warm-up happens before ResetTimer to keep the
+//     figure exact even at -benchtime 2x.
+func BenchmarkDecodeVsSim(b *testing.B) {
+	b.Run("stages", func(b *testing.B) {
+		cfg := experiment.Config{Distance: 5, Cycles: 4, P: 1e-3, Shots: 1024,
+			Seed: 7, Policy: core.PolicyEraser, Workers: 1}
+		var m experiment.Metrics
+		shots := 0
+		for i := 0; i < b.N; i++ {
+			_, mi, err := experiment.RunUnitsMeteredCtx(context.Background(), cfg, 0, cfg.NumUnits())
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Add(mi)
+			shots += cfg.Shots
+		}
+		simPerShot := float64(m.SimNS) / float64(shots)
+		decPerShot := float64(m.DecodeNS) / float64(shots)
+		b.ReportMetric(simPerShot, "sim_ns/shot")
+		b.ReportMetric(decPerShot, "decode_ns/shot")
+		b.ReportMetric(simPerShot/decPerShot, "sim_over_decode_x")
+		if decPerShot > simPerShot {
+			b.Fatalf("decode stage slower than sim stage: %.0f ns/shot vs %.0f ns/shot",
+				decPerShot, simPerShot)
+		}
+	})
+	for _, eng := range []struct {
+		name string
+		mk   func(l *surfacecode.Layout, rounds int) decoder.BatchDecoder
+	}{
+		{"decode-steady/mwpm", func(l *surfacecode.Layout, rounds int) decoder.BatchDecoder {
+			return decoder.New(l, decoder.DefaultConfig())
+		}},
+		{"decode-steady/unionfind", func(l *surfacecode.Layout, rounds int) decoder.BatchDecoder {
+			return decoder.NewUnionFind(l, surfacecode.KindZ, rounds)
+		}},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			l := surfacecode.MustNew(5)
+			const rounds = 5
+			dec := eng.mk(l, rounds)
+			// A representative 64-lane unit: ~4% detector density, the
+			// flooded end of the paper's operating points.
+			rng := stats.NewRNG(13, 5)
+			col := decoder.NewBatchCollector()
+			for lane := 0; lane < decoder.BatchLanes; lane++ {
+				for r := 1; r <= rounds+1; r++ {
+					for z := 0; z < l.NumZ(); z++ {
+						if rng.Float64() < 0.04 {
+							col.Add(1<<uint(lane), z, r)
+						}
+					}
+				}
+			}
+			for i := 0; i < 3; i++ { // grow arenas to steady state
+				dec.DecodeBatch(col)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec.DecodeBatch(col)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*decoder.BatchLanes),
+				"decode_ns/shot")
+		})
+	}
 }
 
 // -------------------------------------------------------- substrate micro

@@ -6,6 +6,38 @@ import "math/bits"
 // (internal/sim/batch); kept here so this package does not import it.
 const BatchLanes = 64
 
+// BatchDecoder is the batched counterpart of Engine, implemented by both the
+// MWPM and union-find decoders: decode all (or a range of) the lanes of a
+// collector in one call, returning the predicted logical-flip bits packed
+// one per lane — the same layout the batch simulator's ObservableFlip uses,
+// so batched prediction and ground truth compare with one XOR.
+//
+// Implementations reuse per-instance scratch arenas, so a BatchDecoder is
+// not safe for concurrent calls on one instance; to decode disjoint lane
+// ranges of one collector concurrently, give each goroutine its own
+// instance (construction is cheap — the heavy precompute is cached and
+// shared).
+type BatchDecoder interface {
+	Engine
+	// DecodeBatch decodes every lane, lane i's prediction in bit i.
+	DecodeBatch(c *BatchCollector) uint64
+	// DecodeLanes decodes lanes [lo, hi) only; bits outside the range are 0.
+	DecodeLanes(c *BatchCollector, lo, hi int) uint64
+}
+
+// Compile-time checks that both engines implement the batched interface.
+var (
+	_ BatchDecoder = (*Decoder)(nil)
+	_ BatchDecoder = (*UnionFind)(nil)
+)
+
+// StabMap maps one stabilizer of the memory basis to its slot in the batch
+// simulator's event-word array: Idx is the stabilizer index (the word array
+// is indexed by stabilizer), Ord the dense kind ordinal decoders consume.
+type StabMap struct {
+	Idx, Ord int32
+}
+
 // BatchCollector fans the batch simulator's per-stabilizer detection-event
 // words out into the per-lane event lists the decoding engines consume. It
 // owns one reusable event buffer per lane, so the steady-state experiment
@@ -37,6 +69,19 @@ func (c *BatchCollector) Add(word uint64, z, round int) {
 	for ; word != 0; word &= word - 1 {
 		lane := bits.TrailingZeros64(word)
 		c.lanes[lane] = append(c.lanes[lane], Event{Z: z, Round: round})
+	}
+}
+
+// AddWords fans one round's detection-event words out to the lanes: for
+// every mapped stabilizer whose word has active bits, the corresponding
+// kind-ordinal event is appended to each set lane. This is the single
+// extraction point shared by the batch workers for both the per-round and
+// final detector layers.
+func (c *BatchCollector) AddWords(words []uint64, m []StabMap, round int, active uint64) {
+	for _, ks := range m {
+		if word := words[ks.Idx] & active; word != 0 {
+			c.Add(word, int(ks.Ord), round)
+		}
 	}
 }
 

@@ -1,18 +1,21 @@
 // Package decoder implements minimum-weight perfect-matching decoding of the
 // Z-stabilizer detection events of a memory-Z experiment (Section 2.2 of the
-// paper). The decoder precomputes, once per layout, all-pairs shortest-path
-// distances on the Z-stabilizer space graph — whose edges are the data
-// qubits, with the top and bottom lattice boundaries merged into a single
-// virtual node — together with the parity of logical-observable crossings
-// along each shortest path. Decoding a shot then reduces to a matching
-// problem over the detection events with separable space+time distances,
-// solved exactly for small event sets and by refined greedy matching for
-// large ones (see package matching).
+// paper). The decoder precomputes, once per (layout, kind, weights), all-pairs
+// shortest-path distances on the Z-stabilizer space graph — whose edges are
+// the data qubits, with the top and bottom lattice boundaries merged into a
+// single virtual node — together with the parity of logical-observable
+// crossings along each shortest path. The tables are immutable and shared
+// through a content-keyed cache, so spinning up a decoder per worker is an
+// O(lookup) operation. Decoding a shot then reduces to a matching problem
+// over the detection events with separable space+time distances, solved
+// exactly for small event sets and by refined greedy matching for large ones
+// (see package matching).
 package decoder
 
 import (
+	"encoding/binary"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/matching"
 	"repro/internal/surfacecode"
@@ -41,6 +44,12 @@ type Config struct {
 	// round of separation, which reduces exactly to TimeWeight*dt in the
 	// uniform case.
 	TimeWeights []float64
+	// MaxExact caps the cluster size handed to the exact O(2^N * N) matcher;
+	// larger clusters fall back to greedy-plus-2-opt. 0 means the default
+	// (matching.MaxExact, normally 12). This replaces the former mutable
+	// package-level matching.MaxExact knob, which was a latent data race
+	// with decoders running concurrently across workers.
+	MaxExact int
 }
 
 // DefaultConfig returns unit space/time weights.
@@ -54,15 +63,12 @@ type Event struct {
 	Round int
 }
 
-// Decoder decodes the detection events of one stabilizer kind for a fixed
-// layout: Z detectors for memory-Z experiments (the default), X detectors
-// for memory-X.
-type Decoder struct {
-	cfg    Config
-	layout *surfacecode.Layout
-	kind   surfacecode.Kind
-	nz     int
-
+// spaceTable is the immutable precompute of one (layout, kind, weights)
+// combination: all-pairs shortest space-graph distances, logical-crossing
+// parities, and per-ordinal time-edge weights. Tables are shared between
+// decoder instances via a content-keyed cache, so they must never be
+// mutated after construction.
+type spaceTable struct {
 	// dist[a][b] is the shortest space-graph distance between Z ordinals a
 	// and b; index nz is the boundary node.
 	dist [][]float64
@@ -72,6 +78,72 @@ type Decoder struct {
 	// tw[a] is the time-edge weight of kind-ordinal a (uniformly
 	// cfg.TimeWeight unless cfg.TimeWeights is set).
 	tw []float64
+}
+
+var spaceTables sync.Map // string key -> *spaceTable
+
+// spaceTableKey builds the exact content key of a table: code distance,
+// stabilizer kind, and every weight datum at full float64 precision. Two
+// configs share a table iff they would build byte-identical tables.
+func spaceTableKey(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) string {
+	b := make([]byte, 0, 32+8*(len(cfg.SpaceWeights)+len(cfg.TimeWeights)))
+	put := func(v uint64) {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	put(uint64(l.Distance))
+	put(uint64(kind))
+	put(math.Float64bits(cfg.SpaceWeight))
+	put(math.Float64bits(cfg.TimeWeight))
+	put(uint64(len(cfg.SpaceWeights)))
+	for _, w := range cfg.SpaceWeights {
+		put(math.Float64bits(w))
+	}
+	put(uint64(len(cfg.TimeWeights)))
+	for _, w := range cfg.TimeWeights {
+		put(math.Float64bits(w))
+	}
+	return string(b)
+}
+
+// sharedSpaceTable returns the cached table for (layout, kind, weights),
+// building it on first use. Concurrent first lookups may build the table
+// twice; construction is deterministic, so whichever lands in the cache is
+// equivalent.
+func sharedSpaceTable(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) *spaceTable {
+	key := spaceTableKey(l, cfg, kind)
+	if t, ok := spaceTables.Load(key); ok {
+		return t.(*spaceTable)
+	}
+	t := buildSpaceTable(l, cfg, kind)
+	actual, _ := spaceTables.LoadOrStore(key, t)
+	return actual.(*spaceTable)
+}
+
+// Decoder decodes the detection events of one stabilizer kind for a fixed
+// layout: Z detectors for memory-Z experiments (the default), X detectors
+// for memory-X.
+//
+// A Decoder owns reusable scratch arenas (cluster buffers and a matching
+// workspace), so steady-state decoding performs no allocations — and,
+// consequently, a Decoder must NOT be shared by concurrent goroutines. The
+// heavy precompute lives in a shared immutable table, so constructing one
+// decoder per worker is cheap (O(cache lookup) after the first).
+type Decoder struct {
+	cfg    Config
+	layout *surfacecode.Layout
+	kind   surfacecode.Kind
+	nz     int
+	tab    *spaceTable
+
+	// Scratch arenas, grown to the high-water event count and reused.
+	events []Event // the events of the shot being decoded (aliases caller's)
+	bw     []float64
+	parent []int32
+	root   []int32
+	done   []bool
+	sub    []int32
+	ws     matching.Workspace
+	inst   matching.Instance // prebuilt closures over events/sub/bw
 }
 
 // New builds the memory-Z decoder for a layout.
@@ -87,19 +159,23 @@ func NewForKind(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) *Decod
 		def := DefaultConfig()
 		cfg.SpaceWeight, cfg.TimeWeight = def.SpaceWeight, def.TimeWeight
 	}
+	if cfg.MaxExact == 0 {
+		cfg.MaxExact = matching.MaxExact
+	}
 	d := &Decoder{cfg: cfg, layout: l, kind: kind, nz: l.NumKind(kind)}
-	d.tw = make([]float64, d.nz)
-	for i := range d.tw {
-		d.tw[i] = cfg.TimeWeight
+	d.tab = sharedSpaceTable(l, cfg, kind)
+	// The matching instance's closures are built once here — not per
+	// cluster — so the per-shot matching setup is allocation-free. They
+	// read the current cluster through d.sub/d.events/d.bw.
+	d.inst = matching.Instance{
+		MaxExact: cfg.MaxExact,
+		PairWeight: func(i, j int) float64 {
+			return d.pairWeight(int(d.sub[i]), int(d.sub[j]))
+		},
+		BoundaryWeight: func(i int) float64 {
+			return d.bw[d.sub[i]]
+		},
 	}
-	if cfg.TimeWeights != nil {
-		for stab, w := range cfg.TimeWeights {
-			if ord := l.KindOrdinal(kind, stab); ord >= 0 {
-				d.tw[ord] = w
-			}
-		}
-	}
-	d.buildSpaceGraph()
 	return d
 }
 
@@ -109,13 +185,25 @@ type spaceEdge struct {
 	cross uint8
 }
 
-func (d *Decoder) buildSpaceGraph() {
-	l := d.layout
-	n := d.nz + 1 // + boundary node
-	boundary := d.nz
+func buildSpaceTable(l *surfacecode.Layout, cfg Config, kind surfacecode.Kind) *spaceTable {
+	nz := l.NumKind(kind)
+	t := &spaceTable{tw: make([]float64, nz)}
+	for i := range t.tw {
+		t.tw[i] = cfg.TimeWeight
+	}
+	if cfg.TimeWeights != nil {
+		for stab, w := range cfg.TimeWeights {
+			if ord := l.KindOrdinal(kind, stab); ord >= 0 {
+				t.tw[ord] = w
+			}
+		}
+	}
+
+	n := nz + 1 // + boundary node
+	boundary := nz
 	adj := make([][]spaceEdge, n)
 	isLogical := make([]bool, l.NumData)
-	for _, q := range l.LogicalSupport(d.kind) {
+	for _, q := range l.LogicalSupport(kind) {
 		isLogical[q] = true
 	}
 	addEdge := func(a, b int, q int) {
@@ -123,28 +211,29 @@ func (d *Decoder) buildSpaceGraph() {
 		if isLogical[q] {
 			c = 1
 		}
-		w := d.cfg.SpaceWeight
-		if d.cfg.SpaceWeights != nil {
-			w = d.cfg.SpaceWeights[q]
+		w := cfg.SpaceWeight
+		if cfg.SpaceWeights != nil {
+			w = cfg.SpaceWeights[q]
 		}
 		adj[a] = append(adj[a], spaceEdge{b, w, c})
 		adj[b] = append(adj[b], spaceEdge{a, w, c})
 	}
 	for q := 0; q < l.NumData; q++ {
-		zs := l.DataKindStabs(d.kind, q)
+		zs := l.DataKindStabs(kind, q)
 		switch len(zs) {
 		case 2:
-			addEdge(l.KindOrdinal(d.kind, zs[0]), l.KindOrdinal(d.kind, zs[1]), q)
+			addEdge(l.KindOrdinal(kind, zs[0]), l.KindOrdinal(kind, zs[1]), q)
 		case 1:
-			addEdge(l.KindOrdinal(d.kind, zs[0]), boundary, q)
+			addEdge(l.KindOrdinal(kind, zs[0]), boundary, q)
 		}
 	}
 
-	d.dist = make([][]float64, n)
-	d.cross = make([][]uint8, n)
+	t.dist = make([][]float64, n)
+	t.cross = make([][]uint8, n)
 	for src := 0; src < n; src++ {
-		d.dist[src], d.cross[src] = dijkstra(adj, src)
+		t.dist[src], t.cross[src] = dijkstra(adj, src)
 	}
+	return t
 }
 
 // dijkstra returns shortest distances from src plus the observable-crossing
@@ -181,10 +270,24 @@ func dijkstra(adj [][]spaceEdge, src int) ([]float64, []uint8) {
 }
 
 // SpaceDistance exposes the precomputed Z-ordinal space distance (tests).
-func (d *Decoder) SpaceDistance(a, b int) float64 { return d.dist[a][b] }
+func (d *Decoder) SpaceDistance(a, b int) float64 { return d.tab.dist[a][b] }
 
 // BoundaryDistance exposes the distance from Z ordinal a to the boundary.
-func (d *Decoder) BoundaryDistance(a int) float64 { return d.dist[a][d.nz] }
+func (d *Decoder) BoundaryDistance(a int) float64 { return d.tab.dist[a][d.nz] }
+
+// pairWeight is the space+time cost of matching events i and j of the
+// current shot.
+func (d *Decoder) pairWeight(i, j int) float64 {
+	a, b := d.events[i], d.events[j]
+	dt := a.Round - b.Round
+	if dt < 0 {
+		dt = -dt
+	}
+	// Per-ordinal time weights, averaged over the pair; with uniform
+	// weights (w+w)/2 == w exactly, so this is bit-identical to the
+	// historical TimeWeight*dt cost.
+	return d.tab.dist[a.Z][b.Z] + (d.tab.tw[a.Z]+d.tab.tw[b.Z])/2*float64(dt)
+}
 
 // Decode matches the detection events and returns the predicted logical
 // observable flip (the crossing parity of the matched correction).
@@ -198,45 +301,40 @@ func (d *Decoder) BoundaryDistance(a int) float64 { return d.dist[a][d.nz] }
 // handful of events each and the exponential exact matcher runs on tiny
 // instances instead of the whole shot — this is what keeps decoding off the
 // critical path of the word-parallel batch simulator.
+//
+// Decode reuses the decoder's scratch arenas and is therefore NOT safe for
+// concurrent calls on one instance; give each goroutine its own Decoder.
 func (d *Decoder) Decode(events []Event) uint8 {
 	n := len(events)
 	if n == 0 {
 		return 0
 	}
-	pw := func(i, j int) float64 {
-		a, b := events[i], events[j]
-		dt := a.Round - b.Round
-		if dt < 0 {
-			dt = -dt
-		}
-		// Per-ordinal time weights, averaged over the pair; with uniform
-		// weights (w+w)/2 == w exactly, so this is bit-identical to the
-		// historical TimeWeight*dt cost.
-		return d.dist[a.Z][b.Z] + (d.tw[a.Z]+d.tw[b.Z])/2*float64(dt)
-	}
+	d.events = events
+	tab := d.tab
 	// Allocation-free fast paths for the one- and two-event shots that
 	// dominate at low physical error rates.
 	if n == 1 {
-		return d.cross[events[0].Z][d.nz]
+		return tab.cross[events[0].Z][d.nz]
 	}
 	if n == 2 {
-		b0, b1 := d.dist[events[0].Z][d.nz], d.dist[events[1].Z][d.nz]
-		if pw(0, 1) < b0+b1 {
-			return d.cross[events[0].Z][events[1].Z]
+		b0, b1 := tab.dist[events[0].Z][d.nz], tab.dist[events[1].Z][d.nz]
+		if d.pairWeight(0, 1) < b0+b1 {
+			return tab.cross[events[0].Z][events[1].Z]
 		}
-		return d.cross[events[0].Z][d.nz] ^ d.cross[events[1].Z][d.nz]
+		return tab.cross[events[0].Z][d.nz] ^ tab.cross[events[1].Z][d.nz]
 	}
-	bw := make([]float64, n)
+	d.grow(n)
+	bw := d.bw[:n]
 	for i, e := range events {
-		bw[i] = d.dist[e.Z][d.nz]
+		bw[i] = tab.dist[e.Z][d.nz]
 	}
 
 	// Union-find over the edges that can participate in an optimal matching.
-	parent := make([]int, n)
+	parent := d.parent[:n]
 	for i := range parent {
-		parent[i] = i
+		parent[i] = int32(i)
 	}
-	find := func(v int) int {
+	find := func(v int32) int32 {
 		for parent[v] != v {
 			parent[v] = parent[parent[v]]
 			v = parent[v]
@@ -245,48 +343,84 @@ func (d *Decoder) Decode(events []Event) uint8 {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if pw(i, j) < bw[i]+bw[j] {
-				if ri, rj := find(i), find(j); ri != rj {
+			if d.pairWeight(i, j) < bw[i]+bw[j] {
+				if ri, rj := find(int32(i)), find(int32(j)); ri != rj {
 					parent[ri] = rj
 				}
 			}
 		}
 	}
-
-	// Group events by component and match each cluster on its own.
-	members := make([]int, n)
-	for i := range members {
-		members[i] = i
+	root := d.root[:n]
+	done := d.done[:n]
+	for i := range root {
+		root[i] = find(int32(i))
+		done[i] = false
 	}
-	sort.Slice(members, func(a, b int) bool { return find(members[a]) < find(members[b]) })
 
+	// Group events by component, in deterministic first-member order with
+	// ascending event indices inside each cluster, and match each cluster on
+	// its own. XOR-accumulating flips makes the cluster visit order
+	// irrelevant to the result.
 	var flip uint8
-	for lo := 0; lo < n; {
-		hi := lo + 1
-		root := find(members[lo])
-		for hi < n && find(members[hi]) == root {
-			hi++
-		}
-		sub := members[lo:hi]
-		lo = hi
-		if len(sub) == 1 {
-			// A lone event always boundary-matches.
-			flip ^= d.cross[events[sub[0]].Z][d.nz]
+	for i := 0; i < n; i++ {
+		if done[i] {
 			continue
 		}
-		res := matching.Solve(matching.Instance{
-			N:              len(sub),
-			PairWeight:     func(i, j int) float64 { return pw(sub[i], sub[j]) },
-			BoundaryWeight: func(i int) float64 { return bw[sub[i]] },
-		})
+		sub := d.sub[:0]
+		r := root[i]
+		for j := i; j < n; j++ {
+			if root[j] == r {
+				sub = append(sub, int32(j))
+				done[j] = true
+			}
+		}
+		d.sub = sub
+		if len(sub) == 1 {
+			// A lone event always boundary-matches.
+			flip ^= tab.cross[events[sub[0]].Z][d.nz]
+			continue
+		}
+		d.inst.N = len(sub)
+		res := d.ws.Solve(d.inst)
 		for i, j := range res.Mate {
 			switch {
 			case j == matching.Boundary:
-				flip ^= d.cross[events[sub[i]].Z][d.nz]
+				flip ^= tab.cross[events[sub[i]].Z][d.nz]
 			case j > i:
-				flip ^= d.cross[events[sub[i]].Z][events[sub[j]].Z]
+				flip ^= tab.cross[events[sub[i]].Z][events[sub[j]].Z]
 			}
 		}
 	}
 	return flip
+}
+
+// grow sizes the scratch arenas for an n-event shot.
+func (d *Decoder) grow(n int) {
+	if cap(d.bw) < n {
+		d.bw = make([]float64, n)
+		d.parent = make([]int32, n)
+		d.root = make([]int32, n)
+		d.done = make([]bool, n)
+		d.sub = make([]int32, 0, n)
+	}
+}
+
+// DecodeBatch decodes every lane of the collector and returns the predicted
+// logical-flip bits packed one per lane, lane i in bit i.
+func (d *Decoder) DecodeBatch(c *BatchCollector) uint64 {
+	return d.DecodeLanes(c, 0, BatchLanes)
+}
+
+// DecodeLanes decodes lanes [lo, hi) of the collector, returning the
+// predicted flips in the corresponding bits. Disjoint lane ranges of one
+// collector may be decoded concurrently — by different Decoder instances;
+// a single instance's arenas are single-threaded.
+func (d *Decoder) DecodeLanes(c *BatchCollector, lo, hi int) uint64 {
+	var out uint64
+	for lane := lo; lane < hi; lane++ {
+		if d.Decode(c.lanes[lane]) != 0 {
+			out |= 1 << uint(lane)
+		}
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package decoder
 
 import (
+	"sync"
+
 	"repro/internal/surfacecode"
 )
 
@@ -12,18 +14,67 @@ import (
 // boundary, then each cluster is peeled to extract a correction, whose
 // logical-crossing parity is the decode result.
 //
-// A UnionFind instance is built for a fixed number of rounds; the graph is
-// immutable after construction and Decode allocates all mutable state per
-// call, so one instance may be shared by concurrent shots.
+// The detector graph is immutable per (layout, kind, rounds) and shared
+// between instances through a content-keyed cache, so construction is
+// O(lookup) after the first. All per-decode mutable state lives in
+// epoch-stamped arenas owned by the instance and reused across calls, which
+// makes steady-state decoding allocation-free — and therefore a UnionFind
+// instance must NOT be shared by concurrent goroutines; give each worker its
+// own (cheap) instance.
+//
+// DecodeBatch/DecodeLanes additionally batch the first growth pass over lane
+// words: the pass-1 edge-support state of all 64 lanes is computed once with
+// word-parallel and/or masks over the per-vertex defect words (the same
+// trick the batch simulator uses in RunRoundMasked), and each lane's decode
+// then reads its bit out of the shared planes instead of recomputing
+// support. Later growth passes run per lane; at the paper's error rates most
+// clusters close after pass 1, so the shared pass covers the bulk of the
+// grow/merge work.
 type UnionFind struct {
-	layout *surfacecode.Layout
-	kind   surfacecode.Kind
-	nz     int
-	rounds int
-	nV     int // real vertices: nz * (rounds+1)
+	g *ufGraph
 
-	edges       []ufEdge
-	vertexEdges [][]int32
+	// Per-lane decode state, valid when the matching stamp equals epoch.
+	epoch  uint32
+	vstamp []uint32 // per vertex
+	estamp []uint32 // per edge: support[] authoritative for this lane
+
+	parent   []int32
+	size     []int32
+	parity   []uint8 // defect count mod 2 per root
+	boundary []int32 // fully grown boundary edge id per root, -1 if none
+	defect   []bool
+	verts    [][]int32 // vertex list per root
+	support  []uint8   // per edge: 0, 1, 2 (2 = fully grown)
+
+	// Root-dedup marker used by odds/rebuildActive, bumped per scan.
+	mepoch uint32
+	mark   []uint32
+
+	// Reusable lists.
+	active, odd, grown []int32
+
+	// Peeling scratch, valid when pstamp equals pepoch (bumped per decode).
+	pepoch   uint32
+	pstamp   []uint32
+	parentOf []int32
+	pdef     []bool
+	order    []treeEdge
+
+	// Word-batched pass-1 planes, valid when the matching stamp equals
+	// wepoch (bumped per DecodeLanes call, and per serial Decode to
+	// invalidate). curBit selects the lane being decoded.
+	wepoch  uint32
+	wvstamp []uint32 // per vertex: defectW valid
+	westamp []uint32 // per edge: suppA/suppB valid
+	defectW []uint64
+	suppA   []uint64 // lanes with >= 1 defect endpoint (support 1 after pass 1)
+	suppB   []uint64 // lanes with both endpoints defect (support 2 after pass 1)
+	curBit  uint64
+}
+
+type treeEdge struct {
+	vertex int32
+	edge   int32 // edge to parent
 }
 
 type ufEdge struct {
@@ -31,32 +82,50 @@ type ufEdge struct {
 	cross uint8
 }
 
-// NewUnionFind builds the decoder for memory experiments with the given
-// number of syndrome extraction rounds (the detector graph has rounds+1
-// layers, the last from the transversal data measurement).
-func NewUnionFind(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *UnionFind {
-	u := &UnionFind{
-		layout: l,
-		kind:   kind,
-		nz:     l.NumKind(kind),
-		rounds: rounds,
+// ufGraph is the immutable space-time detector graph of one
+// (layout distance, stabilizer kind, rounds) combination.
+type ufGraph struct {
+	nz, rounds, nV int // real vertices: nz * (rounds+1)
+	edges          []ufEdge
+	vertexEdges    [][]int32
+}
+
+type ufGraphKey struct {
+	distance int
+	kind     surfacecode.Kind
+	rounds   int
+}
+
+var ufGraphs sync.Map // ufGraphKey -> *ufGraph
+
+func sharedUFGraph(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *ufGraph {
+	key := ufGraphKey{l.Distance, kind, rounds}
+	if g, ok := ufGraphs.Load(key); ok {
+		return g.(*ufGraph)
 	}
-	u.nV = u.nz * (rounds + 1)
-	u.vertexEdges = make([][]int32, u.nV)
+	g := buildUFGraph(l, kind, rounds)
+	actual, _ := ufGraphs.LoadOrStore(key, g)
+	return actual.(*ufGraph)
+}
+
+func buildUFGraph(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *ufGraph {
+	g := &ufGraph{nz: l.NumKind(kind), rounds: rounds}
+	g.nV = g.nz * (rounds + 1)
+	g.vertexEdges = make([][]int32, g.nV)
 
 	isLogical := make([]bool, l.NumData)
 	for _, q := range l.LogicalSupport(kind) {
 		isLogical[q] = true
 	}
 	addEdge := func(a, b int32, cross uint8) {
-		id := int32(len(u.edges))
-		u.edges = append(u.edges, ufEdge{a, b, cross})
-		u.vertexEdges[a] = append(u.vertexEdges[a], id)
+		id := int32(len(g.edges))
+		g.edges = append(g.edges, ufEdge{a, b, cross})
+		g.vertexEdges[a] = append(g.vertexEdges[a], id)
 		if b >= 0 {
-			u.vertexEdges[b] = append(u.vertexEdges[b], id)
+			g.vertexEdges[b] = append(g.vertexEdges[b], id)
 		}
 	}
-	node := func(z, r int) int32 { return int32((r-1)*u.nz + z) }
+	node := func(z, r int) int32 { return int32((r-1)*g.nz + z) }
 
 	for r := 1; r <= rounds+1; r++ {
 		// Space and boundary edges within the layer.
@@ -76,155 +145,228 @@ func NewUnionFind(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *Uni
 		}
 		// Time edges to the next layer.
 		if r <= rounds {
-			for z := 0; z < u.nz; z++ {
+			for z := 0; z < g.nz; z++ {
 				addEdge(node(z, r), node(z, r+1), 0)
 			}
 		}
 	}
-	return u
+	return g
 }
 
-// ufState is the per-decode mutable state.
-type ufState struct {
-	parent   []int32
-	size     []int32
-	parity   []uint8 // defect count mod 2 per root
-	boundary []int32 // fully grown boundary edge id per root, -1 if none
-	support  []uint8 // per edge: 0, 1, 2 (2 = fully grown)
-	defect   []bool
-	verts    [][]int32 // vertex list per root
-}
-
-func (u *UnionFind) newState() *ufState {
-	st := &ufState{
-		parent:   make([]int32, u.nV),
-		size:     make([]int32, u.nV),
-		parity:   make([]uint8, u.nV),
-		boundary: make([]int32, u.nV),
-		support:  make([]uint8, len(u.edges)),
-		defect:   make([]bool, u.nV),
-		verts:    make([][]int32, u.nV),
+// NewUnionFind builds the decoder for memory experiments with the given
+// number of syndrome extraction rounds (the detector graph has rounds+1
+// layers, the last from the transversal data measurement).
+func NewUnionFind(l *surfacecode.Layout, kind surfacecode.Kind, rounds int) *UnionFind {
+	g := sharedUFGraph(l, kind, rounds)
+	nE := len(g.edges)
+	return &UnionFind{
+		g:        g,
+		vstamp:   make([]uint32, g.nV),
+		estamp:   make([]uint32, nE),
+		parent:   make([]int32, g.nV),
+		size:     make([]int32, g.nV),
+		parity:   make([]uint8, g.nV),
+		boundary: make([]int32, g.nV),
+		defect:   make([]bool, g.nV),
+		verts:    make([][]int32, g.nV),
+		support:  make([]uint8, nE),
+		mark:     make([]uint32, g.nV),
+		pstamp:   make([]uint32, g.nV),
+		parentOf: make([]int32, g.nV),
+		pdef:     make([]bool, g.nV),
+		wvstamp:  make([]uint32, g.nV),
+		westamp:  make([]uint32, nE),
+		defectW:  make([]uint64, g.nV),
+		suppA:    make([]uint64, nE),
+		suppB:    make([]uint64, nE),
 	}
-	for i := range st.parent {
-		st.parent[i] = int32(i)
-		st.size[i] = 1
-		st.boundary[i] = -1
-	}
-	return st
 }
 
-func (st *ufState) find(v int32) int32 {
-	for st.parent[v] != v {
-		st.parent[v] = st.parent[st.parent[v]]
-		v = st.parent[v]
+// ensure lazily initializes vertex v's union-find state for the current
+// decode epoch.
+func (u *UnionFind) ensure(v int32) {
+	if u.vstamp[v] != u.epoch {
+		u.vstamp[v] = u.epoch
+		u.parent[v] = v
+		u.size[v] = 1
+		u.parity[v] = 0
+		u.boundary[v] = -1
+		u.defect[v] = false
+		u.verts[v] = u.verts[v][:0]
+	}
+}
+
+func (u *UnionFind) find(v int32) int32 {
+	u.ensure(v)
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]]
+		v = u.parent[v]
 	}
 	return v
 }
 
-func (st *ufState) union(a, b int32) int32 {
-	ra, rb := st.find(a), st.find(b)
+func (u *UnionFind) union(a, b int32) int32 {
+	ra, rb := u.find(a), u.find(b)
 	if ra == rb {
 		return ra
 	}
-	if st.size[ra] < st.size[rb] {
+	if u.size[ra] < u.size[rb] {
 		ra, rb = rb, ra
 	}
-	st.parent[rb] = ra
-	st.size[ra] += st.size[rb]
-	st.parity[ra] ^= st.parity[rb]
-	if st.boundary[ra] < 0 {
-		st.boundary[ra] = st.boundary[rb]
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.parity[ra] ^= u.parity[rb]
+	if u.boundary[ra] < 0 {
+		u.boundary[ra] = u.boundary[rb]
 	}
-	st.verts[ra] = append(st.verts[ra], st.verts[rb]...)
-	st.verts[rb] = nil
+	u.verts[ra] = append(u.verts[ra], u.verts[rb]...)
+	u.verts[rb] = u.verts[rb][:0]
 	return ra
 }
 
+// defectOf reports whether v carries a defect in the current epoch.
+func (u *UnionFind) defectOf(v int32) bool {
+	return u.vstamp[v] == u.epoch && u.defect[v]
+}
+
+// supportOf returns edge id's growth support for the lane being decoded:
+// authoritative per-lane writes first, then the word-batched pass-1 planes,
+// then zero.
+func (u *UnionFind) supportOf(id int32) uint8 {
+	if u.estamp[id] == u.epoch {
+		return u.support[id]
+	}
+	if u.westamp[id] == u.wepoch {
+		if u.suppB[id]&u.curBit != 0 {
+			return 2
+		}
+		if u.suppA[id]&u.curBit != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func (u *UnionFind) setSupport(id int32, s uint8) {
+	u.estamp[id] = u.epoch
+	u.support[id] = s
+}
+
+// bumpEpoch starts a fresh per-lane decode; on uint32 wraparound the stamp
+// arrays are cleared so stale stamps can never collide.
+func (u *UnionFind) bumpEpoch() {
+	u.epoch++
+	u.pepoch++
+	if u.epoch == 0 || u.pepoch == 0 {
+		clear(u.vstamp)
+		clear(u.estamp)
+		clear(u.pstamp)
+		u.epoch, u.pepoch = 1, 1
+	}
+}
+
+func (u *UnionFind) beginMark() {
+	u.mepoch++
+	if u.mepoch == 0 {
+		clear(u.mark)
+		u.mepoch = 1
+	}
+}
+
+// bumpWordEpoch invalidates the pass-1 planes (serial decodes must not see a
+// previous batch's planes).
+func (u *UnionFind) bumpWordEpoch() {
+	u.wepoch++
+	if u.wepoch == 0 {
+		clear(u.wvstamp)
+		clear(u.westamp)
+		u.wepoch = 1
+	}
+}
+
 // Decode grows clusters around the detection events and peels a correction.
+// It reuses the instance's arenas and is NOT safe for concurrent calls.
 func (u *UnionFind) Decode(events []Event) uint8 {
 	if len(events) == 0 {
 		return 0
 	}
-	st := u.newState()
-	active := make([]int32, 0, len(events))
+	u.bumpWordEpoch() // no planes for serial decodes
+	u.curBit = 0
+	u.bumpEpoch()
+	active := u.loadDefects(events)
+	active = u.growClusters(active, false)
+	return u.peelAll(active)
+}
+
+// loadDefects toggles the events into per-vertex defect state and returns
+// the active vertex list in first-occurrence order (duplicate events cancel;
+// the vertex stays in the list with even parity, exactly as the historical
+// per-call state did).
+func (u *UnionFind) loadDefects(events []Event) []int32 {
+	active := u.active[:0]
 	for _, e := range events {
-		v := int32((e.Round-1)*u.nz + e.Z)
-		if !st.defect[v] {
-			st.defect[v] = true
-			st.parity[v] = 1
-			st.verts[v] = []int32{v}
+		v := int32((e.Round-1)*u.g.nz + e.Z)
+		u.ensure(v)
+		if !u.defect[v] {
+			u.defect[v] = true
+			u.parity[v] = 1
+			u.verts[v] = append(u.verts[v][:0], v)
 			active = append(active, v)
 		} else {
-			// Duplicate event cancels (should not happen from the sim).
-			st.defect[v] = false
-			st.parity[v] = 0
+			u.defect[v] = false
+			u.parity[v] = 0
 		}
 	}
+	u.active = active
+	return active
+}
 
-	// Growth: every odd, non-boundary cluster grows all frontier edges by a
-	// half step; fully grown edges merge clusters or attach the boundary.
-	for iter := 0; iter < 4*u.nV; iter++ {
-		odd := odds(st, active)
+// growClusters runs the growth loop: every odd, non-boundary cluster grows
+// all frontier edges by a half step; fully grown edges merge clusters or
+// attach the boundary. When seeded is true the first pass's support state
+// already came from the word-batched planes and only the fully grown edge
+// list needs processing per lane (see decodeLane).
+func (u *UnionFind) growClusters(active []int32, seeded bool) []int32 {
+	for iter := 0; iter < 4*u.g.nV; iter++ {
+		odd := u.odds(active)
 		if len(odd) == 0 {
 			break
 		}
-		grown, advanced := grownEdges(u, st, odd)
+		var grown []int32
+		var advanced bool
+		if iter == 0 && seeded {
+			grown = u.pass1Grown(odd)
+			// Pass 1 starts from zero support, and every vertex has at
+			// least one incident edge, so an odd cluster always advances.
+			advanced = true
+		} else {
+			grown, advanced = u.grownEdges(odd)
+		}
 		if !advanced {
 			break // defensive; cannot happen while boundary edges exist
 		}
-		roots := make(map[int32]bool)
-		for _, id := range grown {
-			e := u.edges[id]
-			if e.v < 0 {
-				r := st.find(e.u)
-				if st.boundary[r] < 0 {
-					st.boundary[r] = id
-				}
-				roots[r] = true
-				continue
-			}
-			roots[st.find(st.union(e.u, e.v))] = true
-		}
-		next := active[:0]
-		seen := map[int32]bool{}
-		for _, v := range active {
-			r := st.find(v)
-			if !seen[r] {
-				seen[r] = true
-				next = append(next, r)
-			}
-		}
-		active = next
+		u.processGrown(grown)
+		active = u.rebuildActive(active)
 	}
-
-	// Peeling: extract a correction inside each cluster.
-	var flip uint8
-	visited := make([]bool, u.nV)
-	for _, v := range active {
-		r := st.find(v)
-		if len(st.verts[r]) == 0 || visited[st.verts[r][0]] {
-			continue
-		}
-		flip ^= u.peel(st, r, visited)
-	}
-	return flip
+	return active
 }
 
 // odds returns the roots of odd-parity clusters that do not touch the
-// boundary.
-func odds(st *ufState, active []int32) []int32 {
-	var out []int32
-	seen := map[int32]bool{}
+// boundary, deduplicated in active order.
+func (u *UnionFind) odds(active []int32) []int32 {
+	out := u.odd[:0]
+	u.beginMark()
 	for _, v := range active {
-		r := st.find(v)
-		if seen[r] {
+		r := u.find(v)
+		if u.mark[r] == u.mepoch {
 			continue
 		}
-		seen[r] = true
-		if st.parity[r] == 1 && st.boundary[r] < 0 {
+		u.mark[r] = u.mepoch
+		if u.parity[r] == 1 && u.boundary[r] < 0 {
 			out = append(out, r)
 		}
 	}
+	u.odd = out
 	return out
 }
 
@@ -232,47 +374,122 @@ func odds(st *ufState, active []int32) []int32 {
 // returning the edges that became fully grown and whether any support was
 // added at all (half-grown edges complete on a later pass, so an empty grown
 // list does not mean the algorithm is stuck).
-func grownEdges(u *UnionFind, st *ufState, odd []int32) (grown []int32, advanced bool) {
+func (u *UnionFind) grownEdges(odd []int32) (grown []int32, advanced bool) {
+	out := u.grown[:0]
 	for _, r := range odd {
-		for _, v := range st.verts[r] {
-			for _, id := range u.vertexEdges[v] {
-				if st.support[id] >= 2 {
+		for _, v := range u.verts[r] {
+			for _, id := range u.g.vertexEdges[v] {
+				s := u.supportOf(id)
+				if s >= 2 {
 					continue
 				}
-				st.support[id]++
+				s++
+				u.setSupport(id, s)
 				advanced = true
-				if st.support[id] == 2 {
-					grown = append(grown, id)
+				if s == 2 {
+					out = append(out, id)
 				}
 			}
 		}
 	}
-	return grown, advanced
+	u.grown = out
+	return out, advanced
+}
+
+// pass1Grown replays the first growth pass for the current lane from the
+// word-batched planes: an edge is fully grown after pass 1 iff both its
+// endpoints are defects (the suppB plane bit), and the canonical grown order
+// — matching grownEdges on a fresh support array — appends the edge when its
+// second endpoint is scanned. Support values are not written back per edge;
+// supportOf falls through to the planes for everything pass 1 touched.
+func (u *UnionFind) pass1Grown(odd []int32) []int32 {
+	out := u.grown[:0]
+	u.beginMark()
+	for _, v := range odd {
+		for _, id := range u.g.vertexEdges[v] {
+			if u.suppB[id]&u.curBit == 0 || u.westamp[id] != u.wepoch {
+				continue
+			}
+			e := u.g.edges[id]
+			w := e.u
+			if w == v {
+				w = e.v
+			}
+			if w >= 0 && u.mark[w] == u.mepoch {
+				out = append(out, id)
+			}
+		}
+		u.mark[v] = u.mepoch
+	}
+	u.grown = out
+	return out
+}
+
+// processGrown merges the endpoints of fully grown edges and records
+// boundary attachments.
+func (u *UnionFind) processGrown(grown []int32) {
+	for _, id := range grown {
+		e := u.g.edges[id]
+		if e.v < 0 {
+			r := u.find(e.u)
+			if u.boundary[r] < 0 {
+				u.boundary[r] = id
+			}
+			continue
+		}
+		u.union(e.u, e.v)
+	}
+}
+
+// rebuildActive deduplicates the active list down to one entry per root,
+// keeping first-occurrence order, in place.
+func (u *UnionFind) rebuildActive(active []int32) []int32 {
+	next := active[:0]
+	u.beginMark()
+	for _, v := range active {
+		r := u.find(v)
+		if u.mark[r] != u.mepoch {
+			u.mark[r] = u.mepoch
+			next = append(next, r)
+		}
+	}
+	u.active = next
+	return next
+}
+
+// peelAll extracts a correction from every cluster.
+func (u *UnionFind) peelAll(active []int32) uint8 {
+	var flip uint8
+	for _, v := range active {
+		r := u.find(v)
+		if len(u.verts[r]) == 0 || u.pstamp[u.verts[r][0]] == u.pepoch {
+			continue
+		}
+		flip ^= u.peel(r)
+	}
+	return flip
 }
 
 // peel builds a spanning tree of the cluster's fully grown edges and peels
 // leaves inward, discharging any residual defect through the cluster's
-// boundary edge.
-func (u *UnionFind) peel(st *ufState, root int32, visited []bool) uint8 {
+// boundary edge. pstamp doubles as the visited marker shared by all clusters
+// of one decode.
+func (u *UnionFind) peel(root int32) uint8 {
 	// Root the tree at the boundary edge's endpoint when available.
-	start := st.verts[root][0]
-	if b := st.boundary[root]; b >= 0 {
-		start = u.edges[b].u
+	start := u.verts[root][0]
+	if b := u.boundary[root]; b >= 0 {
+		start = u.g.edges[b].u
 	}
-	type treeEdge struct {
-		vertex int32
-		edge   int32 // edge to parent
-	}
-	order := []treeEdge{{start, -1}}
-	visited[start] = true
-	parentOf := map[int32]int32{}
+	order := append(u.order[:0], treeEdge{start, -1})
+	u.pstamp[start] = u.pepoch
+	u.pdef[start] = u.defectOf(start)
 	for head := 0; head < len(order); head++ {
 		v := order[head].vertex
-		for _, id := range u.vertexEdges[v] {
-			if st.support[id] < 2 {
+		for _, id := range u.g.vertexEdges[v] {
+			if u.supportOf(id) < 2 {
 				continue
 			}
-			e := u.edges[id]
+			e := u.g.edges[id]
 			if e.v < 0 {
 				continue
 			}
@@ -280,37 +497,109 @@ func (u *UnionFind) peel(st *ufState, root int32, visited []bool) uint8 {
 			if w == v {
 				w = e.v
 			}
-			if visited[w] {
+			if u.pstamp[w] == u.pepoch {
 				continue
 			}
-			visited[w] = true
-			parentOf[w] = v
+			u.pstamp[w] = u.pepoch
+			u.parentOf[w] = v
+			u.pdef[w] = u.defectOf(w)
 			order = append(order, treeEdge{w, id})
 		}
 	}
+	u.order = order
 	// Peel leaves in reverse BFS order.
-	defect := make(map[int32]bool)
-	for _, te := range order {
-		if st.defect[te.vertex] {
-			defect[te.vertex] = true
-		}
-	}
 	var flip uint8
 	for i := len(order) - 1; i >= 1; i-- {
 		te := order[i]
-		if defect[te.vertex] {
-			flip ^= u.edges[te.edge].cross
-			defect[te.vertex] = false
-			p := parentOf[te.vertex]
-			defect[p] = !defect[p]
+		if u.pdef[te.vertex] {
+			flip ^= u.g.edges[te.edge].cross
+			u.pdef[te.vertex] = false
+			p := u.parentOf[te.vertex]
+			u.pdef[p] = !u.pdef[p]
 		}
 	}
-	if defect[start] {
-		if b := st.boundary[root]; b >= 0 {
-			flip ^= u.edges[b].cross
+	if u.pdef[start] {
+		if b := u.boundary[root]; b >= 0 {
+			flip ^= u.g.edges[b].cross
 		}
 		// With no boundary edge the cluster parity was even, so a residual
 		// defect at the root cannot occur.
 	}
 	return flip
+}
+
+// DecodeBatch decodes every lane of the collector, returning the predicted
+// logical-flip bits packed one per lane.
+func (u *UnionFind) DecodeBatch(c *BatchCollector) uint64 {
+	return u.DecodeLanes(c, 0, BatchLanes)
+}
+
+// DecodeLanes decodes lanes [lo, hi) of the collector. The first growth
+// pass of all lanes in the range is computed once over lane words; each
+// lane's decode is bit-identical to a serial Decode of its event list.
+// Disjoint lane ranges may be decoded concurrently by different instances.
+func (u *UnionFind) DecodeLanes(c *BatchCollector, lo, hi int) uint64 {
+	u.buildPlanes(c, lo, hi)
+	var out uint64
+	for lane := lo; lane < hi; lane++ {
+		events := c.lanes[lane]
+		if len(events) == 0 {
+			continue
+		}
+		u.curBit = 1 << uint(lane)
+		u.bumpEpoch()
+		active := u.loadDefects(events)
+		active = u.growClusters(active, true)
+		if u.peelAll(active) != 0 {
+			out |= 1 << uint(lane)
+		}
+	}
+	u.curBit = 0
+	return out
+}
+
+// buildPlanes computes the word-batched pass-1 state for lanes [lo, hi):
+// per-vertex defect words (event toggles XOR, so duplicate events cancel
+// exactly as in loadDefects), then per-edge support planes — suppA has a
+// lane's bit when at least one endpoint is a defect (support 1 after pass
+// 1), suppB when both are (support 2, i.e. fully grown). One pass of word
+// ops replaces 64 per-lane support recomputations.
+func (u *UnionFind) buildPlanes(c *BatchCollector, lo, hi int) {
+	u.bumpWordEpoch()
+	touched := u.active[:0] // borrow; loadDefects reclaims it later
+	for lane := lo; lane < hi; lane++ {
+		bit := uint64(1) << uint(lane)
+		for _, e := range c.lanes[lane] {
+			v := int32((e.Round-1)*u.g.nz + e.Z)
+			if u.wvstamp[v] != u.wepoch {
+				u.wvstamp[v] = u.wepoch
+				u.defectW[v] = 0
+				touched = append(touched, v)
+			}
+			u.defectW[v] ^= bit
+		}
+	}
+	for _, v := range touched {
+		dv := u.defectW[v]
+		if dv == 0 {
+			continue
+		}
+		for _, id := range u.g.vertexEdges[v] {
+			if u.westamp[id] == u.wepoch {
+				continue
+			}
+			u.westamp[id] = u.wepoch
+			e := u.g.edges[id]
+			var du, dw uint64
+			if u.wvstamp[e.u] == u.wepoch {
+				du = u.defectW[e.u]
+			}
+			if e.v >= 0 && u.wvstamp[e.v] == u.wepoch {
+				dw = u.defectW[e.v]
+			}
+			u.suppA[id] = du | dw
+			u.suppB[id] = du & dw
+		}
+	}
+	u.active = touched[:0]
 }

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPipelineBitExactAllPolicies: the sim→decode pipeline (Workers > 1)
+// must produce tallies exactly equal to the inline single-worker path on
+// every policy — not statistically, but field for field, because decode
+// consumes no randomness and logical-error counts commute.
+func TestPipelineBitExactAllPolicies(t *testing.T) {
+	for _, pol := range []core.Kind{core.PolicyNone, core.PolicyAlways,
+		core.PolicyEraser, core.PolicyEraserM, core.PolicyOptimal} {
+		cfg := Config{Distance: 3, Cycles: 3, P: 3e-3, Shots: 300, Seed: 17,
+			Policy: pol, Workers: 1}
+		inline := Run(cfg)
+		for _, workers := range []int{2, 4} {
+			cfg.Workers = workers
+			piped := Run(cfg)
+			if inline.LogicalErrors != piped.LogicalErrors ||
+				inline.Shots != piped.Shots ||
+				inline.TruePos != piped.TruePos || inline.FalsePos != piped.FalsePos ||
+				inline.TrueNeg != piped.TrueNeg || inline.FalseNeg != piped.FalseNeg {
+				t.Fatalf("%v workers=%d: pipeline diverged from inline:\n  inline %+v\n  piped  %+v",
+					pol, workers, inline, piped)
+			}
+			for r := range inline.LPRTotal {
+				if inline.LPRTotal[r] != piped.LPRTotal[r] {
+					t.Fatalf("%v workers=%d: LPR series diverged at round %d",
+						pol, workers, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMeteredRunReportsStageTimes: RunUnitsMeteredCtx attributes wall time
+// to both stages; the counters must be positive for a real workload and
+// consistent between the inline and pipelined paths (both nonzero).
+func TestMeteredRunReportsStageTimes(t *testing.T) {
+	cfg := Config{Distance: 3, Cycles: 3, P: 3e-3, Shots: 640, Seed: 9,
+		Policy: core.PolicyEraser}
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		tally, m, err := RunUnitsMeteredCtx(context.Background(), cfg, 0, cfg.NumUnits())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if tally.Shots != 640 {
+			t.Fatalf("workers=%d: tally shots %d, want 640", workers, tally.Shots)
+		}
+		if m.SimNS <= 0 || m.DecodeNS <= 0 {
+			t.Fatalf("workers=%d: stage metrics not populated: %+v", workers, m)
+		}
+	}
+}

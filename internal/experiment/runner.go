@@ -15,6 +15,8 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -193,13 +195,29 @@ func (c Config) NumUnits() int {
 	return (c.Shots + u - 1) / u
 }
 
+// Metrics splits a run's compute time between the simulation stage and the
+// decode stage, in nanoseconds summed across all workers (on a parallel run
+// the sum exceeds wall-clock time). The service aggregates these per job and
+// exposes them on /v1/healthz, keeping the sim/decode balance observable in
+// production, not just in benchmarks.
+type Metrics struct {
+	SimNS    int64
+	DecodeNS int64
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.SimNS += other.SimNS
+	m.DecodeNS += other.DecodeNS
+}
+
 // Run executes the experiment at its configured shot count and derives the
 // Result from the accumulated tally.
 func Run(cfg Config) Result {
 	// The final unit is truncated to cfg.Shots, preserving the historical
 	// contract that Result.Shots == cfg.Shots even when Shots is not a
 	// multiple of the batch width.
-	t := runUnitRange(context.Background(), cfg, 0, cfg.NumUnits(), cfg.Shots)
+	t, _ := runUnitRange(context.Background(), cfg, 0, cfg.NumUnits(), cfg.Shots)
 	return t.ResultFor(cfg)
 }
 
@@ -208,7 +226,8 @@ func Run(cfg Config) Result {
 // from disjoint ranges of the same config merge exactly — this is the
 // store/service entry point for incremental and adaptive execution.
 func RunUnits(cfg Config, lo, hi int) *Tally {
-	return runUnitRange(context.Background(), cfg, lo, hi, hi*cfg.UnitShots())
+	t, _ := runUnitRange(context.Background(), cfg, lo, hi, hi*cfg.UnitShots())
+	return t
 }
 
 // RunUnitsCtx is RunUnits with cooperative cancellation at unit boundaries:
@@ -220,20 +239,35 @@ func RunUnits(cfg Config, lo, hi int) *Tally {
 // a later run re-issues only the remainder. Units are never abandoned
 // mid-flight: a unit either completes and is covered, or never starts.
 func RunUnitsCtx(ctx context.Context, cfg Config, lo, hi int) (*Tally, error) {
-	t := runUnitRange(ctx, cfg, lo, hi, hi*cfg.UnitShots())
-	return t, ctx.Err()
+	t, _, err := RunUnitsMeteredCtx(ctx, cfg, lo, hi)
+	return t, err
+}
+
+// RunUnitsMeteredCtx is RunUnitsCtx plus stage timing: the returned Metrics
+// report how many worker-nanoseconds the range spent simulating versus
+// decoding. The tally is bit-identical to the unmetered entry points.
+func RunUnitsMeteredCtx(ctx context.Context, cfg Config, lo, hi int) (*Tally, Metrics, error) {
+	t, m := runUnitRange(ctx, cfg, lo, hi, hi*cfg.UnitShots())
+	return t, m, ctx.Err()
 }
 
 // runUnitRange simulates units [lo, hi), with total shot count clamped to
 // shotsCap (the last unit runs fewer lanes when shotsCap cuts into it).
-func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally {
+//
+// On the batch paths with more than one worker, execution is a two-stage
+// pipeline: sim workers run the rounds of a unit and hand the filled event
+// collector off to a pool of decode workers, where the unit's 64 lanes are
+// decoded concurrently as lane-range tasks. Logical errors are pure integer
+// counts, so accumulating them from the decode stage with atomic adds keeps
+// tallies bit-identical to the serial path for any worker count.
+func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) (*Tally, Metrics) {
 	rounds := cfg.rounds()
 	unitShots := cfg.UnitShots()
 	if lo < 0 || hi < lo {
 		panic(fmt.Sprintf("experiment: invalid unit range [%d, %d)", lo, hi))
 	}
 	if hi == lo {
-		return NewTally(rounds, unitShots)
+		return NewTally(rounds, unitShots), Metrics{}
 	}
 	layout := surfacecode.MustNew(cfg.Distance)
 	np := cfg.noiseParams()
@@ -254,9 +288,15 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally 
 		// rates; explicit per-site Decoder weights win when set.
 		dcfg.SpaceWeights, dcfg.TimeWeights = rates.DecoderPriors(layout)
 	}
-	var dec decoder.Engine = decoder.NewForKind(layout, dcfg, cfg.Basis)
-	if cfg.UseUnionFind {
-		dec = decoder.NewUnionFind(layout, cfg.Basis, rounds)
+	// Decoder instances own reusable scratch arenas and must not be shared
+	// across goroutines; each worker builds its own through this factory.
+	// The heavy precompute (distance tables, detector graphs) is cached and
+	// shared inside package decoder, so construction is O(lookup).
+	newEngine := func() decoder.BatchDecoder {
+		if cfg.UseUnionFind {
+			return decoder.NewUnionFind(layout, cfg.Basis, rounds)
+		}
+		return decoder.NewForKind(layout, dcfg, cfg.Basis)
 	}
 	// One pre-drawn seed per unit, a deterministic function of the config
 	// identity and the unit index alone, so results are identical for any
@@ -280,7 +320,12 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally 
 	}
 
 	useBatch := batchEligible(cfg)
+	var pipe *decodePipeline
+	if useBatch && workers > 1 {
+		pipe = newDecodePipeline(workers, newEngine)
+	}
 	accums := make([]*Tally, workers)
+	workerMetrics := make([]Metrics, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		acc := NewTally(rounds, unitShots)
@@ -288,14 +333,17 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sink := newDecodeSink(pipe, newEngine)
 			switch {
 			case useBatch && staticPlans(cfg.Policy):
-				runBatchWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			case useBatch:
-				runBatchLaneWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchLaneWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
 			default:
-				runWorker(ctx, cfg, layout, dec, rounds, np, rates, seeds, lo, hi, w, workers, acc)
+				runWorker(ctx, cfg, layout, newEngine(), rounds, np, rates, seeds, lo, hi, w, workers, acc, &workerMetrics[w])
 			}
+			workerMetrics[w].SimNS += sink.simNS
+			workerMetrics[w].DecodeNS += sink.decodeNS
 		}(w)
 	}
 	wg.Wait()
@@ -306,11 +354,188 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) *Tally 
 			panic(fmt.Sprintf("experiment: worker tally merge: %v", err))
 		}
 	}
-	return total
+	var m Metrics
+	for i := range workerMetrics {
+		m.Add(workerMetrics[i])
+	}
+	if pipe != nil {
+		// The decode stage drains fully even on cancellation: every unit
+		// that was simulated and submitted gets decoded, so partial tallies
+		// still cover exactly the completed units.
+		pipe.close()
+		total.LogicalErrors += int(pipe.errs.Load())
+		m.DecodeNS += pipe.decodeNS.Load()
+	}
+	return total, m
+}
+
+// unitTask carries one simulated unit from the sim stage to the decode
+// stage: the filled event collector, the ground-truth observable flips, the
+// active-lane mask and count, plus a refcount of outstanding lane-range
+// tasks so the collector returns to the free list exactly once.
+type unitTask struct {
+	col    *decoder.BatchCollector
+	obs    uint64
+	active uint64
+	lanes  int
+	refs   atomic.Int32
+}
+
+// decodeTask is one lane range [lo, hi) of a unit.
+type decodeTask struct {
+	u      *unitTask
+	lo, hi int
+}
+
+// decodePipeline fans simulated units out to a pool of decode workers, lane
+// ranges of one unit decoding concurrently. The bounded task channel is the
+// backpressure that keeps the number of in-flight collectors proportional
+// to the worker count, and the free list recycles unit tasks so the steady
+// state allocates nothing per unit.
+type decodePipeline struct {
+	tasks    chan decodeTask
+	free     chan *unitTask
+	fan      int
+	errs     atomic.Int64
+	decodeNS atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// pipelineFan is the maximum number of lane-range decode tasks one unit
+// splits into; 4 tasks of 16 lanes keeps per-task overhead well under the
+// decode cost of a lane range while still spreading a single unit across
+// the pool.
+const pipelineFan = 4
+
+func newDecodePipeline(workers int, newEngine func() decoder.BatchDecoder) *decodePipeline {
+	fan := pipelineFan
+	if workers < fan {
+		fan = workers
+	}
+	p := &decodePipeline{
+		tasks: make(chan decodeTask, 4*workers),
+		free:  make(chan *unitTask, 8*workers),
+		fan:   fan,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.decodeWorker(newEngine)
+	}
+	return p
+}
+
+func (p *decodePipeline) decodeWorker(newEngine func() decoder.BatchDecoder) {
+	defer p.wg.Done()
+	eng := newEngine()
+	var errs, ns int64
+	for t := range p.tasks {
+		t0 := time.Now()
+		pred := eng.DecodeLanes(t.u.col, t.lo, t.hi)
+		ns += time.Since(t0).Nanoseconds()
+		mask := batch.LaneMask(t.hi) &^ batch.LaneMask(t.lo)
+		errs += int64(bits.OnesCount64((pred ^ t.u.obs) & t.u.active & mask))
+		if t.u.refs.Add(-1) == 0 {
+			select {
+			case p.free <- t.u:
+			default: // free list full; drop the unit task to the GC
+			}
+		}
+	}
+	p.errs.Add(errs)
+	p.decodeNS.Add(ns)
+}
+
+// get returns a recycled or fresh unit task with an empty collector.
+func (p *decodePipeline) get() *unitTask {
+	select {
+	case ut := <-p.free:
+		ut.col.Reset()
+		return ut
+	default:
+		return &unitTask{col: decoder.NewBatchCollector()}
+	}
+}
+
+// submit splits the unit into lane-range tasks and enqueues them; blocks
+// when the decode stage is saturated (backpressure on the sim stage).
+func (p *decodePipeline) submit(ut *unitTask) {
+	// Snapshot lanes: after the final send below the task may already be
+	// decoded, recycled through the free list, and rewritten by another sim
+	// worker, so ut must not be touched again.
+	lanes := ut.lanes
+	fan := p.fan
+	if lanes < fan {
+		fan = lanes
+	}
+	chunk := (lanes + fan - 1) / fan
+	n := (lanes + chunk - 1) / chunk
+	ut.refs.Store(int32(n))
+	for lo := 0; lo < lanes; lo += chunk {
+		hi := lo + chunk
+		if hi > lanes {
+			hi = lanes
+		}
+		p.tasks <- decodeTask{u: ut, lo: lo, hi: hi}
+	}
+}
+
+// close ends the decode stage after the sim stage has finished submitting
+// and waits for every outstanding task.
+func (p *decodePipeline) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// decodeSink is a sim worker's hand-off point to the decode stage. In
+// pipelined mode units go to the shared decode pool; in inline mode (single
+// worker, or scalar fallback ineligible for batching) the worker decodes
+// its own units with its own engine and arenas.
+type decodeSink struct {
+	pipe *decodePipeline
+	cur  *unitTask
+
+	eng decoder.BatchDecoder
+	col *decoder.BatchCollector
+
+	simNS    int64
+	decodeNS int64
+}
+
+func newDecodeSink(pipe *decodePipeline, newEngine func() decoder.BatchDecoder) *decodeSink {
+	if pipe != nil {
+		return &decodeSink{pipe: pipe}
+	}
+	return &decodeSink{eng: newEngine(), col: decoder.NewBatchCollector()}
+}
+
+// begin returns the empty collector for the next unit.
+func (sk *decodeSink) begin() *decoder.BatchCollector {
+	if sk.pipe != nil {
+		sk.cur = sk.pipe.get()
+		return sk.cur.col
+	}
+	sk.col.Reset()
+	return sk.col
+}
+
+// finish completes a unit whose collector holds every detector layer:
+// pipelined units are handed off, inline units decode immediately into acc.
+func (sk *decodeSink) finish(obs, active uint64, lanes int, acc *Tally) {
+	if sk.pipe != nil {
+		ut := sk.cur
+		sk.cur = nil
+		ut.obs, ut.active, ut.lanes = obs, active, lanes
+		sk.pipe.submit(ut)
+		return
+	}
+	t0 := time.Now()
+	pred := sk.eng.DecodeLanes(sk.col, 0, lanes)
+	sk.decodeNS += time.Since(t0).Nanoseconds()
+	acc.LogicalErrors += bits.OnesCount64((pred ^ obs) & active)
 }
 
 func runWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
-	rounds int, np noise.Params, rates *device.Rates, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, shotSeeds []uint64, lo, hi, w, stride int, acc *Tally, m *Metrics) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
@@ -328,6 +553,7 @@ func runWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec 
 		if ctx.Err() != nil {
 			return
 		}
+		u0 := time.Now()
 		acc.Covered.Add(shot)
 		acc.Shots++
 		rng := stats.NewRNG(shotSeeds[shot], uint64(shot))
@@ -389,71 +615,48 @@ func runWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec 
 				events = append(events, decoder.Event{Z: layout.KindOrdinal(cfg.Basis, i), Round: rounds + 1})
 			}
 		}
+		d0 := time.Now()
 		predicted := dec.Decode(events)
+		m.DecodeNS += time.Since(d0).Nanoseconds()
+		m.SimNS += d0.Sub(u0).Nanoseconds()
 		if predicted != s.ObservableFlip(final) {
 			acc.LogicalErrors++
 		}
 	}
 }
 
-// kindStab pairs a stabilizer index with its dense decoder ordinal for the
-// memory basis; the batch workers precompute the list once per worker.
-type kindStab struct{ idx, ord int }
-
-func kindStabs(layout *surfacecode.Layout, basis surfacecode.Kind) []kindStab {
-	var ks []kindStab
+// kindStabs precomputes, once per worker, the stabilizer-index to decoder
+// kind-ordinal map the collector uses to fan event words out to lanes.
+func kindStabs(layout *surfacecode.Layout, basis surfacecode.Kind) []decoder.StabMap {
+	var ks []decoder.StabMap
 	for i := range layout.Stabilizers {
 		if layout.Stabilizers[i].Kind == basis {
-			ks = append(ks, kindStab{i, layout.KindOrdinal(basis, i)})
+			ks = append(ks, decoder.StabMap{Idx: int32(i), Ord: int32(layout.KindOrdinal(basis, i))})
 		}
 	}
 	return ks
-}
-
-// finishBatch runs the transversal final measurement of one batch, folds it
-// into the last detector layer, decodes every active lane and returns the
-// number of logical errors.
-func finishBatch(bs *batch.Simulator, builder *circuit.Builder, dec decoder.Engine,
-	col *decoder.BatchCollector, kstabs []kindStab, lanes, rounds int) int {
-
-	active := batch.LaneMask(lanes)
-	final := bs.FinalMeasure(builder.FinalMeasurement())
-	fdet := bs.FinalDetectors(final)
-	for _, ks := range kstabs {
-		if word := fdet[ks.idx] & active; word != 0 {
-			col.Add(word, ks.ord, rounds+1)
-		}
-	}
-	obs := bs.ObservableFlip(final)
-	errs := 0
-	for lane := 0; lane < lanes; lane++ {
-		predicted := dec.Decode(col.Lane(lane))
-		if predicted != uint8((obs>>uint(lane))&1) {
-			errs++
-		}
-	}
-	return errs
 }
 
 // runBatchWorker is runWorker's word-parallel counterpart: each work unit is
 // a batch of up to 64 shots running through the bit-packed simulator, with
 // detection events fanned out to per-lane lists for decoding. Static
 // policies plan identically for every lane, so one plan and one op sequence
-// per round serve the whole batch.
-func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+// per round serve the whole batch. Decoding goes through the sink: inline
+// on single-worker runs, pipelined to the decode pool otherwise.
+func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, sink *decodeSink,
 	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
 	bs := batch.New(layout, np, cfg.Basis)
 	bs.UseRates(rates)
-	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
 
 	for b := lo + w; b < hi; b += stride {
 		if ctx.Err() != nil {
 			return
 		}
+		u0 := time.Now()
 		lanes := batch.Lanes
 		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem
@@ -463,7 +666,7 @@ func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout,
 		active := batch.LaneMask(lanes)
 		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
 		pol.Reset()
-		col.Reset()
+		col := sink.begin()
 
 		for r := 1; r <= rounds; r++ {
 			plan := pol.PlanRound(r)
@@ -482,17 +685,16 @@ func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout,
 			}
 
 			events := bs.RunRound(builder.Round(plan))
-			for _, ks := range kstabs {
-				if word := events[ks.idx] & active; word != 0 {
-					col.Add(word, ks.ord, r)
-				}
-			}
+			col.AddWords(events, kstabs, r, active)
 			dleak, pleak := bs.LeakedCounts(active)
 			acc.LPRDataNum[r-1] += int64(dleak)
 			acc.LPRParityNum[r-1] += int64(pleak)
 		}
 
-		acc.LogicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
+		fdet, obs := bs.FinalRound(builder.FinalMeasurement())
+		col.AddWords(fdet, kstabs, rounds+1, active)
+		sink.simNS += time.Since(u0).Nanoseconds()
+		sink.finish(obs, active, lanes, acc)
 	}
 }
 
@@ -502,8 +704,9 @@ func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout,
 // round the 64 plans are merged into one lane-masked op sequence — every
 // lane shares the syndrome-extraction skeleton, only the LRC ops differ by
 // lane — and the engine's event, readout and ground-truth words are fanned
-// back out to the per-lane instances.
-func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec decoder.Engine,
+// back out to the per-lane instances. Decoding goes through the sink:
+// inline on single-worker runs, pipelined to the decode pool otherwise.
+func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, sink *decodeSink,
 	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
 
 	builder := circuit.NewBuilder(layout)
@@ -511,13 +714,13 @@ func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Lay
 	bs := batch.New(layout, np, cfg.Basis)
 	bs.UseRates(rates)
 	bs.TrackML = cfg.Policy == core.PolicyEraserM
-	col := decoder.NewBatchCollector()
 	kstabs := kindStabs(layout, cfg.Basis)
 
 	for b := lo + w; b < hi; b += stride {
 		if ctx.Err() != nil {
 			return
 		}
+		u0 := time.Now()
 		lanes := batch.Lanes
 		if rem := shotsCap - b*batch.Lanes; rem < lanes {
 			lanes = rem
@@ -527,7 +730,7 @@ func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Lay
 		active := batch.LaneMask(lanes)
 		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
 		lp.Reset()
-		col.Reset()
+		col := sink.begin()
 
 		for r := 1; r <= rounds; r++ {
 			plans := lp.PlanRound(r, active)
@@ -547,11 +750,7 @@ func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Lay
 			}
 
 			events := bs.RunRoundMasked(builder.MaskedRound(plans, active))
-			for _, ks := range kstabs {
-				if word := events[ks.idx] & active; word != 0 {
-					col.Add(word, ks.ord, r)
-				}
-			}
+			col.AddWords(events, kstabs, r, active)
 			dleak, pleak := bs.LeakedCounts(active)
 			acc.LPRDataNum[r-1] += int64(dleak)
 			acc.LPRParityNum[r-1] += int64(pleak)
@@ -566,7 +765,10 @@ func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Lay
 			})
 		}
 
-		acc.LogicalErrors += finishBatch(bs, builder, dec, col, kstabs, lanes, rounds)
+		fdet, obs := bs.FinalRound(builder.FinalMeasurement())
+		col.AddWords(fdet, kstabs, rounds+1, active)
+		sink.simNS += time.Since(u0).Nanoseconds()
+		sink.finish(obs, active, lanes, acc)
 	}
 }
 

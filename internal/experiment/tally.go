@@ -11,6 +11,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/matching"
 	"repro/internal/stats"
 	"repro/internal/surfacecode"
 )
@@ -289,7 +290,7 @@ func (c Config) Key() (string, error) {
 		binary.LittleEndian.PutUint64(buf, v)
 		h.Write(buf)
 	}
-	put(2) // key schema version (v2: per-site decoder weights + device profile)
+	put(3) // key schema version (v3: decoder MaxExact joins the identity)
 	put(uint64(c.Distance))
 	put(uint64(c.rounds()))
 	put(uint64(c.Policy))
@@ -303,8 +304,12 @@ func (c Config) Key() (string, error) {
 		def := decoder.DefaultConfig() // NewForKind applies the same default
 		dec.SpaceWeight, dec.TimeWeight = def.SpaceWeight, def.TimeWeight
 	}
+	if dec.MaxExact == 0 {
+		dec.MaxExact = matching.MaxExact // NewForKind applies the same default
+	}
 	put(math.Float64bits(dec.SpaceWeight))
 	put(math.Float64bits(dec.TimeWeight))
+	put(uint64(dec.MaxExact)) // changes which clusters solve exactly, hence predictions
 	put(uint64(len(dec.SpaceWeights)))
 	for _, w := range dec.SpaceWeights {
 		put(math.Float64bits(w))

@@ -8,22 +8,37 @@
 // Greedy plus Refine is a near-optimal approximation for large event sets:
 // greedy construction followed by 2-opt local search over pair/boundary
 // rematches. Solve picks automatically.
+//
+// All engines are available in two forms: the package-level functions, which
+// allocate their scratch per call, and the methods on Workspace, which reuse
+// per-instance buffers so steady-state solving is allocation-free. Decoders
+// on the hot batch path hold one Workspace per decoder instance.
 package matching
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 )
 
 // Boundary is the Mate value of an event matched to the lattice boundary.
 const Boundary = -1
 
-// MaxExact is the largest event count solved exactly by default. The exact
-// matcher costs O(2^N * N), so this bound is the knee of the decode-latency
-// tail: clusters up to MaxExact decode in ~50us, and the rare larger ones
-// (long time-chains seeded by a leaked, never-reset parity qubit) fall back
-// to greedy-plus-2-opt, which is near-optimal on such chain-shaped sets.
-const MaxExact = 12
+// DefaultMaxExact is the default cap on event counts solved exactly. The
+// exact matcher costs O(2^N * N), so this bound is the knee of the
+// decode-latency tail: clusters up to this size decode in ~50us, and the
+// rare larger ones (long time-chains seeded by a leaked, never-reset parity
+// qubit) fall back to greedy-plus-2-opt, which is near-optimal on such
+// chain-shaped sets.
+const DefaultMaxExact = 12
+
+// MaxExact seeds the exact-solve cap for instances that do not set their own
+// (Instance.MaxExact == 0).
+//
+// Deprecated: mutating this package-level knob is a data race once decoders
+// run concurrently across workers. Set decoder.Config.MaxExact (which flows
+// into Instance.MaxExact) instead; this variable remains only as the default
+// seed for zero-valued instances.
+var MaxExact = DefaultMaxExact
 
 // Instance describes a matching problem over N detection events.
 type Instance struct {
@@ -32,6 +47,16 @@ type Instance struct {
 	PairWeight func(i, j int) float64
 	// BoundaryWeight returns the cost of matching event i to the boundary.
 	BoundaryWeight func(i int) float64
+	// MaxExact caps the event count solved exactly by Solve; 0 falls back to
+	// the package-level MaxExact default.
+	MaxExact int
+}
+
+func (inst Instance) maxExact() int {
+	if inst.MaxExact > 0 {
+		return inst.MaxExact
+	}
+	return MaxExact
 }
 
 // Result holds a complete matching: Mate[i] is the partner of event i, or
@@ -55,25 +80,105 @@ func (inst Instance) weight(mate []int) float64 {
 	return w
 }
 
+// cost is the pair-or-boundary cost of matching i with j.
+func (inst Instance) cost(i, j int) float64 {
+	if j == Boundary {
+		return inst.BoundaryWeight(i)
+	}
+	return inst.PairWeight(i, j)
+}
+
+// costOrZero is cost where either side may be Boundary; two boundaries cost
+// nothing (both structures dissolve).
+func (inst Instance) costOrZero(i, j int) float64 {
+	if i == Boundary && j == Boundary {
+		return 0
+	}
+	if i == Boundary {
+		return inst.cost(j, Boundary)
+	}
+	return inst.cost(i, j)
+}
+
+// Workspace holds reusable scratch for the matching engines. The zero value
+// is ready to use; buffers grow to the high-water mark of the instances
+// solved and are reused afterwards, so steady-state solving performs no
+// allocations. Results returned by Workspace methods alias the workspace's
+// internal mate buffer: they are valid until the next call on the same
+// workspace. A Workspace is not safe for concurrent use.
+type Workspace struct {
+	dp     []float64
+	choice []int32
+	mate   []int
+	cands  []cand
+	pw     []float64 // n x n pair-weight matrix, filled per Exact call
+	bw     []float64 // boundary weights, filled per Exact call
+}
+
+type cand struct {
+	w    float64
+	i, j int // j == Boundary for boundary candidates
+}
+
+// Solve returns an exact matching when N is within the instance's exact cap
+// and a refined greedy matching otherwise. The result aliases the workspace.
+func (ws *Workspace) Solve(inst Instance) Result {
+	if inst.N == 0 {
+		return Result{}
+	}
+	if inst.N <= inst.maxExact() {
+		return ws.Exact(inst)
+	}
+	return ws.refineInPlace(inst, ws.Greedy(inst), 8)
+}
+
+func (ws *Workspace) mateBuf(n int) []int {
+	if cap(ws.mate) < n {
+		ws.mate = make([]int, n)
+	}
+	return ws.mate[:n]
+}
+
 // Exact computes a minimum-weight matching by dynamic programming over
-// subsets. It must only be called with inst.N <= about 20; memory is
-// O(2^N) and time O(2^N * N).
-func Exact(inst Instance) Result {
+// subsets, reusing the workspace's tables. It must only be called with
+// inst.N <= about 20; memory is O(2^N) and time O(2^N * N).
+func (ws *Workspace) Exact(inst Instance) Result {
 	n := inst.N
 	if n == 0 {
-		return Result{Mate: nil}
+		return Result{}
 	}
 	size := 1 << n
-	dp := make([]float64, size)
-	choice := make([]int32, size) // partner of the lowest set bit; -1 = boundary
+	if cap(ws.dp) < size {
+		ws.dp = make([]float64, size)
+		ws.choice = make([]int32, size)
+	}
+	if cap(ws.pw) < n*n {
+		ws.pw = make([]float64, n*n)
+		ws.bw = make([]float64, n)
+	}
+	dp := ws.dp[:size]
+	choice := ws.choice[:size]
+	// Tabulate the weights once: the DP below reads each pair O(2^n) times,
+	// and indexing a flat matrix beats re-invoking the instance's weight
+	// closures by a large factor on dense clusters.
+	pw := ws.pw[:n*n]
+	bw := ws.bw[:n]
+	for i := 0; i < n; i++ {
+		bw[i] = inst.BoundaryWeight(i)
+		for j := i + 1; j < n; j++ {
+			w := inst.PairWeight(i, j)
+			pw[i*n+j], pw[j*n+i] = w, w
+		}
+	}
 	for s := 1; s < size; s++ {
 		i := lowestBit(s)
-		best := inst.BoundaryWeight(i) + dp[s&^(1<<i)]
+		best := bw[i] + dp[s&^(1<<i)]
 		bestJ := int32(-1)
 		rest := s &^ (1 << i)
+		row := pw[i*n : i*n+n]
 		for t := rest; t != 0; t &= t - 1 {
 			j := lowestBit(t)
-			w := inst.PairWeight(i, j) + dp[s&^(1<<i)&^(1<<j)]
+			w := row[j] + dp[s&^(1<<i)&^(1<<j)]
 			if w < best {
 				best, bestJ = w, int32(j)
 			}
@@ -81,7 +186,7 @@ func Exact(inst Instance) Result {
 		dp[s] = best
 		choice[s] = bestJ
 	}
-	mate := make([]int, n)
+	mate := ws.mateBuf(n)
 	for i := range mate {
 		mate[i] = Boundary
 	}
@@ -100,34 +205,27 @@ func Exact(inst Instance) Result {
 }
 
 func lowestBit(s int) int {
-	b := 0
-	for s&1 == 0 {
-		s >>= 1
-		b++
-	}
-	return b
+	return bits.TrailingZeros64(uint64(s))
 }
 
 // Greedy builds a matching by repeatedly taking the cheapest available
-// pairing (event-event or event-boundary).
-func Greedy(inst Instance) Result {
+// pairing (event-event or event-boundary), reusing the workspace's candidate
+// buffer. The result aliases the workspace.
+func (ws *Workspace) Greedy(inst Instance) Result {
 	n := inst.N
-	mate := make([]int, n)
+	mate := ws.mateBuf(n)
 	for i := range mate {
 		mate[i] = -2 // unmatched
 	}
-	type cand struct {
-		w    float64
-		i, j int // j == Boundary for boundary candidates
-	}
-	cands := make([]cand, 0, n*(n+1)/2)
+	cands := ws.cands[:0]
 	for i := 0; i < n; i++ {
 		cands = append(cands, cand{inst.BoundaryWeight(i), i, Boundary})
 		for j := i + 1; j < n; j++ {
 			cands = append(cands, cand{inst.PairWeight(i, j), i, j})
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
+	ws.cands = cands
+	sortCands(cands)
 	for _, c := range cands {
 		if mate[c.i] != -2 {
 			continue
@@ -146,19 +244,43 @@ func Greedy(inst Instance) Result {
 	return Result{Mate: mate, Weight: inst.weight(mate)}
 }
 
-// Refine improves a matching with 2-opt local search: it considers rewiring
-// every pair of matched structures (two pairs, a pair and a boundary match,
-// or two boundary matches) and applies the best improvement until a local
-// optimum or maxPasses.
-func Refine(inst Instance, r Result, maxPasses int) Result {
-	n := inst.N
-	mate := append([]int(nil), r.Mate...)
-	cost := func(i, j int) float64 {
-		if j == Boundary {
-			return inst.BoundaryWeight(i)
-		}
-		return inst.PairWeight(i, j)
+// sortCands heap-sorts candidates by ascending weight without allocating.
+// Ties break deterministically by the heap order, which is all the greedy
+// matcher needs; 2-opt refinement absorbs any tie-order sensitivity.
+func sortCands(c []cand) {
+	n := len(c)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(c, i, n)
 	}
+	for i := n - 1; i > 0; i-- {
+		c[0], c[i] = c[i], c[0]
+		siftDown(c, 0, i)
+	}
+}
+
+func siftDown(c []cand, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && c[r].w > c[child].w {
+			child = r
+		}
+		if c[child].w <= c[root].w {
+			return
+		}
+		c[root], c[child] = c[child], c[root]
+		root = child
+	}
+}
+
+// Refine improves a matching with 2-opt local search, mutating r.Mate in
+// place (the workspace form; pair it with Workspace.Greedy, whose result
+// already aliases the workspace).
+func (ws *Workspace) refineInPlace(inst Instance, r Result, maxPasses int) Result {
+	n := inst.N
+	mate := r.Mate
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for a := 0; a < n; a++ {
@@ -174,14 +296,14 @@ func Refine(inst Instance, r Result, maxPasses int) Result {
 				if d != Boundary && (d < c || d == a || d == b) {
 					continue
 				}
-				cur := cost(a, b) + cost(c, d)
+				cur := inst.cost(a, b) + inst.cost(c, d)
 				// Option 1: (a,c) and (b,d).
-				w1 := cost(a, c) + costOrZero(cost, b, d)
+				w1 := inst.cost(a, c) + inst.costOrZero(b, d)
 				// Option 2: (a,d) and (b,c) — only when both b and d exist
 				// or can be boundary-matched.
 				w2 := math.Inf(1)
 				if d != Boundary {
-					w2 = cost(a, d) + costOrZero(cost, b, c)
+					w2 = inst.cost(a, d) + inst.costOrZero(b, c)
 				}
 				const eps = 1e-12
 				if w1 < cur-eps && w1 <= w2 {
@@ -200,18 +322,6 @@ func Refine(inst Instance, r Result, maxPasses int) Result {
 		}
 	}
 	return Result{Mate: mate, Weight: inst.weight(mate)}
-}
-
-// costOrZero returns the cost of matching i with j where either may be
-// Boundary; two boundaries cost nothing (both structures dissolve).
-func costOrZero(cost func(int, int) float64, i, j int) float64 {
-	if i == Boundary && j == Boundary {
-		return 0
-	}
-	if i == Boundary {
-		return cost(j, Boundary)
-	}
-	return cost(i, j)
 }
 
 func relink(mate []int, a, x, b, y int) {
@@ -234,14 +344,35 @@ func relink(mate []int, a, x, b, y int) {
 	link(b, y)
 }
 
-// Solve returns an exact matching when N <= MaxExact and a refined greedy
-// matching otherwise.
+// Exact computes a minimum-weight matching by dynamic programming over
+// subsets. It must only be called with inst.N <= about 20; memory is
+// O(2^N) and time O(2^N * N).
+func Exact(inst Instance) Result {
+	var ws Workspace
+	return ws.Exact(inst)
+}
+
+// Greedy builds a matching by repeatedly taking the cheapest available
+// pairing (event-event or event-boundary).
+func Greedy(inst Instance) Result {
+	var ws Workspace
+	return ws.Greedy(inst)
+}
+
+// Refine improves a matching with 2-opt local search: it considers rewiring
+// every pair of matched structures (two pairs, a pair and a boundary match,
+// or two boundary matches) and applies the best improvement until a local
+// optimum or maxPasses. The input matching is not mutated.
+func Refine(inst Instance, r Result, maxPasses int) Result {
+	var ws Workspace
+	cp := Result{Mate: append([]int(nil), r.Mate...), Weight: r.Weight}
+	return ws.refineInPlace(inst, cp, maxPasses)
+}
+
+// Solve returns an exact matching when N is within the instance's exact cap
+// (Instance.MaxExact, defaulting to the package MaxExact) and a refined
+// greedy matching otherwise.
 func Solve(inst Instance) Result {
-	if inst.N == 0 {
-		return Result{}
-	}
-	if inst.N <= MaxExact {
-		return Exact(inst)
-	}
-	return Refine(inst, Greedy(inst), 8)
+	var ws Workspace
+	return ws.Solve(inst)
 }

@@ -240,11 +240,14 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		simNS, decodeNS := s.StageNanos()
 		writeJSONStatus(w, http.StatusOK, map[string]any{
 			"ok":             true,
 			"units_executed": s.UnitsExecuted(),
 			"pending_jobs":   s.Pending(),
 			"draining":       s.Draining(),
+			"sim_ns":         simNS,
+			"decode_ns":      decodeNS,
 		})
 	})
 	return mux

@@ -175,8 +175,13 @@ type Scheduler struct {
 	// its stripe for its whole lifetime.
 	keyLocks [64]sync.Mutex
 
-	units  atomic.Int64
-	faults atomic.Value // faultBox
+	units atomic.Int64
+	// simNS/decodeNS aggregate the per-chunk stage timing (experiment.Metrics)
+	// across every job, keeping the sim/decode balance observable on
+	// /v1/healthz without a metrics dependency.
+	simNS    atomic.Int64
+	decodeNS atomic.Int64
+	faults   atomic.Value // faultBox
 }
 
 // New returns a scheduler over st with the given worker-pool width
@@ -218,6 +223,12 @@ func (s *Scheduler) Store() *store.Store { return s.store }
 // has run since construction. Warm-cache sweeps leave it unchanged — the
 // figure-level cache tests assert exactly that.
 func (s *Scheduler) UnitsExecuted() int64 { return s.units.Load() }
+
+// StageNanos returns the cumulative worker-nanoseconds spent in the
+// simulation and decode stages across every chunk this scheduler has run.
+func (s *Scheduler) StageNanos() (simNS, decodeNS int64) {
+	return s.simNS.Load(), s.decodeNS.Load()
+}
 
 // Pending returns the number of admitted cold jobs not yet finished.
 func (s *Scheduler) Pending() int {
@@ -266,6 +277,7 @@ type Job struct {
 	result   *experiment.Result
 	err      error
 	unitsRun int
+	metrics  experiment.Metrics
 	doneAt   time.Time
 }
 
@@ -280,6 +292,10 @@ type Status struct {
 	LER           float64 `json:"ler"`
 	CIHalfWidth   float64 `json:"ci_half_width"`
 	UnitsExecuted int     `json:"units_executed"`
+	// SimNS/DecodeNS split the job's compute between the simulation and
+	// decode stages (worker-nanoseconds summed across the pool).
+	SimNS    int64 `json:"sim_ns"`
+	DecodeNS int64 `json:"decode_ns"`
 	// Cached is true when the job completed without simulating any unit —
 	// the stored tally already satisfied the request.
 	Cached bool   `json:"cached"`
@@ -322,7 +338,8 @@ func (j *Job) Tally() *experiment.Tally {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := Status{Job: j.ID, Key: j.Key, State: "running", UnitsExecuted: j.unitsRun}
+	st := Status{Job: j.ID, Key: j.Key, State: "running", UnitsExecuted: j.unitsRun,
+		SimNS: j.metrics.SimNS, DecodeNS: j.metrics.DecodeNS}
 	if t := j.tally; t != nil {
 		st.Shots = t.Shots
 		st.LogicalErrors = t.LogicalErrors
@@ -585,11 +602,12 @@ func (s *Scheduler) execute(j *Job, fp string) {
 			j.fail(fmt.Errorf("service: job %s: %w", j.ID, context.Cause(j.ctx)))
 			return
 		}
-		t, ran, done, err := s.step(j)
-		if ran > 0 {
+		t, ran, m, done, err := s.step(j)
+		if ran > 0 || m != (experiment.Metrics{}) {
 			s.units.Add(int64(ran))
 			j.mu.Lock()
 			j.unitsRun += ran
+			j.metrics.Add(m)
 			j.mu.Unlock()
 		}
 		if t != nil {
@@ -623,9 +641,10 @@ func (s *Scheduler) execute(j *Job, fp string) {
 // step performs one scheduling round: read the stored tally, decide how much
 // more to run, simulate one chunk under the key's stripe lock, and merge the
 // delta back. It returns the freshest tally it saw, how many units it
-// simulated, whether the request is now satisfied, and any error worth
-// retrying. The stripe lock is held only for the duration of one chunk.
-func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, done bool, err error) {
+// simulated plus their stage timing, whether the request is now satisfied,
+// and any error worth retrying. The stripe lock is held only for the
+// duration of one chunk.
+func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, m experiment.Metrics, done bool, err error) {
 	cfg := j.cfg
 	fresh := func() *experiment.Tally {
 		return experiment.NewTally(cfg.NumRounds(), cfg.UnitShots())
@@ -640,7 +659,7 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, done bool, err e
 			cur = fresh()
 		}
 		if needUnits(cfg, j.prec, cur) == 0 {
-			return cur, 0, true, nil
+			return cur, 0, m, true, nil
 		}
 	}
 
@@ -651,14 +670,14 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, done bool, err e
 	defer kl.Unlock()
 	cur, lerr = s.lookupRetry(j.ctx, j.Key)
 	if lerr != nil {
-		return nil, 0, false, lerr
+		return nil, 0, m, false, lerr
 	}
 	if cur == nil {
 		cur = fresh()
 	}
 	chunk := needUnits(cfg, j.prec, cur)
 	if chunk == 0 {
-		return cur, 0, true, nil
+		return cur, 0, m, true, nil
 	}
 	// Units fill as a prefix; clamp the chunk to the contiguous uncovered
 	// run so a merge can never overlap.
@@ -667,23 +686,23 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, done bool, err e
 	for hi < lo+chunk && !cur.Covered.Contains(hi) {
 		hi++
 	}
-	delta, runErr := s.runChunk(j.ctx, cfg, lo, hi)
+	delta, m, runErr := s.runChunk(j.ctx, cfg, lo, hi)
 	if delta != nil && delta.Covered.Count() > 0 {
 		// Checkpoint whatever completed — even a cancelled or crashed chunk
 		// hands its finished units to the store, and exactness is preserved
 		// because the covered bitsets stay disjoint.
 		ran = delta.Covered.Count()
 		if err := cur.Merge(delta); err != nil {
-			return nil, ran, false, err
+			return nil, ran, m, false, err
 		}
 		if err := s.mergeRetry(j.ctx, j.Key, cfg.Describe(), delta); err != nil {
 			// The units ran but the store never accepted them; drop the
 			// in-memory view so the next step recomputes from the store's
 			// truth instead of serving unmerged state.
-			return nil, ran, false, err
+			return nil, ran, m, false, err
 		}
 	}
-	return cur, ran, false, runErr
+	return cur, ran, m, false, runErr
 }
 
 // lookupRetry is store.Lookup with capped exponential backoff on transient
@@ -784,11 +803,12 @@ func needUnits(cfg experiment.Config, prec Precision, t *experiment.Tally) int {
 }
 
 // runChunk simulates units [lo, hi), fanning contiguous subranges across the
-// worker pool, and returns the merged tally of every unit that completed.
+// worker pool, and returns the merged tally of every unit that completed
+// plus the summed sim/decode stage timing across the parts.
 // On failure (crashed part, cancellation) the partial tally comes back
 // alongside the error so the caller can checkpoint it; the missing units are
 // simply re-issued later — per-unit seeding makes the re-run bit-identical.
-func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi int) (*experiment.Tally, error) {
+func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi int) (*experiment.Tally, experiment.Metrics, error) {
 	cfg.Workers = 1 // parallelism comes from the pool, one unit stream per task
 	n := hi - lo
 	parts := cap(s.sem)
@@ -796,6 +816,7 @@ func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi 
 		parts = n
 	}
 	tallies := make([]*experiment.Tally, parts)
+	metrics := make([]experiment.Metrics, parts)
 	errs := make([]error, parts)
 	var wg sync.WaitGroup
 	for i := 0; i < parts; i++ {
@@ -824,13 +845,15 @@ func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi 
 			if f := s.loadFaults(); f != nil {
 				f.ChunkFaults(a, b) // may sleep or panic (recovered above)
 			}
-			tallies[i], errs[i] = experiment.RunUnitsCtx(ctx, cfg, a, b)
+			tallies[i], metrics[i], errs[i] = experiment.RunUnitsMeteredCtx(ctx, cfg, a, b)
 		}(i, a, b)
 	}
 	wg.Wait()
 	var total *experiment.Tally
+	var m experiment.Metrics
 	var firstErr error
 	for i := range tallies {
+		m.Add(metrics[i])
 		if errs[i] != nil && firstErr == nil {
 			firstErr = errs[i]
 		}
@@ -843,11 +866,13 @@ func (s *Scheduler) runChunk(ctx context.Context, cfg experiment.Config, lo, hi 
 			continue
 		}
 		if err := total.Merge(t); err != nil {
-			return nil, err
+			return nil, m, err
 		}
 	}
+	s.simNS.Add(m.SimNS)
+	s.decodeNS.Add(m.DecodeNS)
 	if total == nil && firstErr == nil {
 		firstErr = fmt.Errorf("service: empty chunk [%d, %d)", lo, hi)
 	}
-	return total, firstErr
+	return total, m, firstErr
 }

@@ -492,6 +492,16 @@ func (s *Simulator) FinalDetectors(finalData []uint64) []uint64 {
 	return out
 }
 
+// FinalRound performs the transversal data measurement and returns both the
+// final detector-layer words and the packed logical observable flips in one
+// call — the shape the decode pipeline hands off to the batch decoders (det
+// aliases an internal buffer; it must be consumed, e.g. fanned into a
+// collector, before the simulator is reset for the next unit).
+func (s *Simulator) FinalRound(ops []circuit.Op) (det []uint64, obs uint64) {
+	final := s.FinalMeasure(ops)
+	return s.FinalDetectors(final), s.ObservableFlip(final)
+}
+
 // ObservableFlip returns the measured logical flip of every lane as one
 // word: the parity of the final data outcomes over the logical support.
 func (s *Simulator) ObservableFlip(finalData []uint64) uint64 {
