@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition: the q-quantile
+// of n sorted samples is element ⌈q·n⌉ (1-based), so p50 of [1..4] is 2, p99
+// of 100 samples is the 99th — where the old `int(q*(n-1))` index was one
+// short on exactly the tail quantiles a load test exists to report.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"p50 of 4", ms(10, 20, 30, 40), 0.50, 20 * time.Millisecond},
+		{"p90 of 4", ms(10, 20, 30, 40), 0.90, 40 * time.Millisecond},
+		{"p99 of 1", ms(10), 0.99, 10 * time.Millisecond},
+		{"p100", ms(10, 20), 1.00, 20 * time.Millisecond},
+		{"p0 clamps to first", ms(10, 20), 0.0, 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got, ok := percentile(tc.sorted, tc.q)
+		if !ok || got != tc.want {
+			t.Errorf("%s: got %v ok=%v, want %v", tc.name, got, ok, tc.want)
+		}
+	}
+	// p99 of 100 samples must be the 99th value (index 98), not index 98.01
+	// truncated to 98 — identical here — but p99 of 200 must be index 197.
+	big := make([]time.Duration, 200)
+	for i := range big {
+		big[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got, _ := percentile(big, 0.99); got != 198*time.Millisecond {
+		t.Errorf("p99 of 200: got %v want 198ms", got)
+	}
+	if _, ok := percentile(nil, 0.5); ok {
+		t.Error("empty sample must report !ok")
+	}
+}
+
+// TestServerReportFromDiff: the before/after snapshot arithmetic that feeds
+// the server-side report isolates the run's own traffic.
+func TestServerReportFromDiff(t *testing.T) {
+	beforeText := `# HELP leak_sched_units_total u
+# TYPE leak_sched_units_total counter
+leak_sched_units_total 100
+# HELP leak_store_lookups_total l
+# TYPE leak_store_lookups_total counter
+leak_store_lookups_total{result="hit"} 10
+leak_store_lookups_total{result="miss"} 5
+`
+	afterText := `# HELP leak_sched_units_total u
+# TYPE leak_sched_units_total counter
+leak_sched_units_total 350
+# HELP leak_store_lookups_total l
+# TYPE leak_store_lookups_total counter
+leak_store_lookups_total{result="hit"} 100
+leak_store_lookups_total{result="miss"} 15
+`
+	before, err := metrics.ParseText(strings.NewReader(beforeText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := metrics.ParseText(strings.NewReader(afterText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := after.Sub(before)
+	if v, _ := diff.Value("leak_sched_units_total"); v != 250 {
+		t.Errorf("units diff: got %v want 250", v)
+	}
+	hits, _ := diff.Value("leak_store_lookups_total", "result", "hit")
+	misses, _ := diff.Value("leak_store_lookups_total", "result", "miss")
+	if hits != 90 || misses != 10 {
+		t.Errorf("lookup diff: got %v/%v want 90/10", hits, misses)
+	}
+	if rate := hits / (hits + misses); rate != 0.9 {
+		t.Errorf("hit rate: got %v want 0.9", rate)
+	}
+}

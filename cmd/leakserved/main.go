@@ -31,6 +31,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -53,6 +54,8 @@ func main() {
 			"minimum age before a completed job may be evicted")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for running jobs to checkpoint")
+		pprofOn = flag.Bool("pprof", false,
+			"serve net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -67,9 +70,25 @@ func main() {
 		RetainAge:  *retainAge,
 	})
 
+	handler := http.Handler(service.NewHandler(sched))
+	if *pprofOn {
+		// Opt-in profiling: the pprof handlers are routed explicitly on a
+		// wrapper mux instead of importing them onto http.DefaultServeMux,
+		// so they exist only behind the flag.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("leakserved: pprof enabled on /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: service.NewHandler(sched),
+		Handler: handler,
 		// Slowloris / stuck-client protection. WriteTimeout stays 0: the
 		// ND-JSON /v1/stream endpoint legitimately writes for as long as a
 		// job runs.

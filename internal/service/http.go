@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/noise"
 	"repro/internal/surfacecode"
 )
@@ -162,9 +163,17 @@ type ResultResponse struct {
 //	GET    /v1/result  ?job=ID — result when done (200), interim status
 //	                   (202), 410 once evicted from the retention window
 //	GET    /v1/stream  ?job=ID — ND-JSON stream of interim tallies until done
-//	GET    /v1/healthz liveness + load counters
+//	GET    /v1/trace   ?job=ID — the job's span-event trace (admission,
+//	                   chunk issues, sim/decode stage times, merges, retries)
+//	GET    /v1/healthz liveness, build identity, uptime + load counters
+//	GET    /metrics    Prometheus text-format exposition of every registered
+//	                   store/scheduler/stage/chaos/HTTP series
+//
+// Every route is wrapped in a middleware recording per-route request latency
+// (leak_http_request_seconds) and status-code counts
+// (leak_http_requests_total) into the scheduler's registry.
 func NewHandler(s *Scheduler) http.Handler {
-	mux := http.NewServeMux()
+	mux := newInstrumentedMux(s.Registry())
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
@@ -239,18 +248,91 @@ func NewHandler(s *Scheduler) http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookupJob(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSONStatus(w, http.StatusOK, job.Trace())
+	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		simNS, decodeNS := s.StageNanos()
+		// Build identity + uptime let a liveness probe tell a fresh restart
+		// from a long-running instance; the corruption-repair count surfaces
+		// silent disk damage the store healed on its own.
 		writeJSONStatus(w, http.StatusOK, map[string]any{
-			"ok":             true,
-			"units_executed": s.UnitsExecuted(),
-			"pending_jobs":   s.Pending(),
-			"draining":       s.Draining(),
-			"sim_ns":         simNS,
-			"decode_ns":      decodeNS,
+			"ok":                       true,
+			"build":                    BuildInfo(),
+			"uptime_seconds":           time.Since(s.Start()).Seconds(),
+			"units_executed":           s.UnitsExecuted(),
+			"pending_jobs":             s.Pending(),
+			"inflight_jobs":            s.Inflight(),
+			"draining":                 s.Draining(),
+			"sim_ns":                   simNS,
+			"decode_ns":                decodeNS,
+			"store_corruption_repairs": s.Store().Counters().CorruptionsRepaired,
 		})
 	})
+	mux.Handle("/metrics", s.Registry().Handler())
 	return mux
+}
+
+// instrumentedMux is an http.ServeMux whose registered routes are wrapped in
+// the metrics middleware. Wrapping happens at registration, so the request
+// path does one histogram observe and one counter lookup — no pattern
+// re-matching.
+type instrumentedMux struct {
+	*http.ServeMux
+	reg *metrics.Registry
+}
+
+func newInstrumentedMux(reg *metrics.Registry) *instrumentedMux {
+	return &instrumentedMux{ServeMux: http.NewServeMux(), reg: reg}
+}
+
+func (m *instrumentedMux) HandleFunc(route string, h http.HandlerFunc) {
+	m.Handle(route, h)
+}
+
+func (m *instrumentedMux) Handle(route string, h http.Handler) {
+	hist := m.reg.Histogram("leak_http_request_seconds",
+		"request latency by route", httpSecondsBuckets, "route", route)
+	m.ServeMux.Handle(route, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		m.reg.Counter("leak_http_requests_total",
+			"requests by route and status code",
+			"route", route, "code", strconv.Itoa(sw.code)).Inc()
+	}))
+}
+
+// statusWriter captures the response status for the request counter while
+// passing Flush through, so the ND-JSON /v1/stream endpoint keeps streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleSubmit decodes and admits one POST /v1/run request, mapping

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/store"
 )
 
@@ -117,6 +118,10 @@ type Options struct {
 	// client holding a fresh job ID cannot lose it to a burst of completions
 	// between submit and poll. 0 = DefaultRetainAge.
 	RetainAge time.Duration
+	// Registry receives the scheduler's metric inventory (store, scheduler,
+	// stage-latency, chaos series). nil = a fresh registry, retrievable via
+	// Scheduler.Registry(); pass one to share a registry across subsystems.
+	Registry *metrics.Registry
 }
 
 // Defaults for Options zero values.
@@ -178,10 +183,16 @@ type Scheduler struct {
 	units atomic.Int64
 	// simNS/decodeNS aggregate the per-chunk stage timing (experiment.Metrics)
 	// across every job, keeping the sim/decode balance observable on
-	// /v1/healthz without a metrics dependency.
+	// /v1/healthz without a metrics dependency; the finer-grained per-chunk
+	// distributions live in the ins histograms.
 	simNS    atomic.Int64
 	decodeNS atomic.Int64
 	faults   atomic.Value // faultBox
+
+	// start anchors leak_uptime_seconds and healthz uptime.
+	start time.Time
+	// ins is the scheduler's registered metric inventory; never nil.
+	ins *instruments
 }
 
 // New returns a scheduler over st with the given worker-pool width
@@ -204,8 +215,11 @@ func NewWithOptions(st *store.Store, opts Options) *Scheduler {
 	if opts.RetainAge <= 0 {
 		opts.RetainAge = DefaultRetainAge
 	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
-	return &Scheduler{
+	s := &Scheduler{
 		store:      st,
 		opts:       opts,
 		sem:        make(chan struct{}, opts.Workers),
@@ -213,7 +227,25 @@ func NewWithOptions(st *store.Store, opts Options) *Scheduler {
 		cancelBase: cancel,
 		inflight:   make(map[string]*Job),
 		jobs:       make(map[string]*Job),
+		start:      time.Now(),
 	}
+	s.ins = newInstruments(opts.Registry, s)
+	return s
+}
+
+// Registry returns the metrics registry carrying the scheduler's inventory
+// (plus the store, chaos and — once NewHandler wraps it — HTTP series).
+func (s *Scheduler) Registry() *metrics.Registry { return s.opts.Registry }
+
+// Start returns when the scheduler was constructed (the uptime anchor).
+func (s *Scheduler) Start() time.Time { return s.start }
+
+// Inflight returns the number of deduplicated jobs currently executing or
+// queued (warm and cold).
+func (s *Scheduler) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
 }
 
 // Store returns the scheduler's backing store.
@@ -261,10 +293,11 @@ type Job struct {
 	ID  string
 	Key string
 
-	cfg  experiment.Config
-	prec Precision
-	done chan struct{}
-	warm bool
+	cfg   experiment.Config
+	prec  Precision
+	done  chan struct{}
+	warm  bool
+	trace *trace
 
 	// ctx governs the job's work; cancel sets the cancellation cause
 	// (ErrCanceled, ErrDraining) and stopTimer releases the deadline timer.
@@ -298,8 +331,12 @@ type Status struct {
 	DecodeNS int64 `json:"decode_ns"`
 	// Cached is true when the job completed without simulating any unit —
 	// the stored tally already satisfied the request.
-	Cached bool   `json:"cached"`
-	Error  string `json:"error,omitempty"`
+	Cached bool `json:"cached"`
+	// TraceEvents/Retries summarize the job's span trace (full events on
+	// GET /v1/trace?job=).
+	TraceEvents int    `json:"trace_events"`
+	Retries     int    `json:"retries,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // Done is closed when the job completes (successfully or not).
@@ -336,10 +373,12 @@ func (j *Job) Tally() *experiment.Tally {
 
 // Status snapshots the job.
 func (j *Job) Status() Status {
+	seq, retries := j.trace.counts()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{Job: j.ID, Key: j.Key, State: "running", UnitsExecuted: j.unitsRun,
-		SimNS: j.metrics.SimNS, DecodeNS: j.metrics.DecodeNS}
+		SimNS: j.metrics.SimNS, DecodeNS: j.metrics.DecodeNS,
+		TraceEvents: seq, Retries: retries}
 	if t := j.tally; t != nil {
 		st.Shots = t.Shots
 		st.LogicalErrors = t.LogicalErrors
@@ -419,17 +458,24 @@ func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) 
 	if !warm && s.pending >= s.opts.MaxPending {
 		ov := &OverloadError{Pending: s.pending, RetryAfter: s.retryAfterLocked()}
 		s.mu.Unlock()
+		s.ins.sheds.Inc()
 		return nil, ov
 	}
 	s.nextID++
 	j := &Job{
-		ID:   fmt.Sprintf("j%d", s.nextID),
-		Key:  key,
-		cfg:  cfg,
-		prec: prec,
-		done: make(chan struct{}),
-		warm: warm,
+		ID:    fmt.Sprintf("j%d", s.nextID),
+		Key:   key,
+		cfg:   cfg,
+		prec:  prec,
+		done:  make(chan struct{}),
+		warm:  warm,
+		trace: newTrace(),
 	}
+	admitNote := "cold"
+	if warm {
+		admitNote = "warm"
+	}
+	j.trace.add(SpanEvent{Kind: SpanAdmitted, Note: admitNote})
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	stopTimer := func() {}
 	if prec.TimeoutMS > 0 {
@@ -576,6 +622,21 @@ func (s *Scheduler) execute(j *Job, fp string) {
 		}
 		j.stopTimer()
 		j.cancel(nil) // release the context; no-op if already cancelled
+		s.ins.jobSeconds.Observe(time.Since(j.trace.start).Seconds())
+		j.mu.Lock()
+		jerr, cached := j.err, j.unitsRun == 0
+		j.mu.Unlock()
+		switch {
+		case jerr != nil:
+			s.ins.jobsError.Inc()
+			j.trace.add(SpanEvent{Kind: SpanDone, Note: jerr.Error()})
+		case cached:
+			s.ins.jobsCached.Inc()
+			j.trace.add(SpanEvent{Kind: SpanDone, Note: "cached"})
+		default:
+			s.ins.jobsDone.Inc()
+			j.trace.add(SpanEvent{Kind: SpanDone})
+		}
 		s.mu.Lock()
 		delete(s.inflight, fp)
 		if !j.warm {
@@ -623,6 +684,8 @@ func (s *Scheduler) execute(j *Job, fp string) {
 				j.fail(fmt.Errorf("service: job %s: giving up after %d attempts: %w", j.ID, attempts, err))
 				return
 			}
+			s.ins.chunkReissues.Inc()
+			j.trace.add(SpanEvent{Kind: SpanRetry, Attempt: attempts, Note: err.Error()})
 			sleepCtx(j.ctx, backoffDelay(attempts))
 			continue
 		}
@@ -659,6 +722,9 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, m experiment.Met
 			cur = fresh()
 		}
 		if needUnits(cfg, j.prec, cur) == 0 {
+			if j.unitsRunSoFar() == 0 {
+				j.trace.add(SpanEvent{Kind: SpanStoreHit})
+			}
 			return cur, 0, m, true, nil
 		}
 	}
@@ -686,7 +752,18 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, m experiment.Met
 	for hi < lo+chunk && !cur.Covered.Contains(hi) {
 		hi++
 	}
+	j.trace.add(SpanEvent{Kind: SpanChunkIssue, UnitLo: lo, UnitHi: hi})
 	delta, m, runErr := s.runChunk(j.ctx, cfg, lo, hi)
+	if m.SimNS > 0 || m.DecodeNS > 0 {
+		// Per-chunk stage distributions; the bare nanosecond totals for
+		// /v1/healthz accumulate inside runChunk as before.
+		s.ins.simSeconds.Observe(float64(m.SimNS) / 1e9)
+		s.ins.decodeSeconds.Observe(float64(m.DecodeNS) / 1e9)
+		j.trace.add(SpanEvent{Kind: SpanSimStage, UnitLo: lo, UnitHi: hi,
+			DurMS: float64(m.SimNS) / 1e6})
+		j.trace.add(SpanEvent{Kind: SpanDecode, UnitLo: lo, UnitHi: hi,
+			DurMS: float64(m.DecodeNS) / 1e6})
+	}
 	if delta != nil && delta.Covered.Count() > 0 {
 		// Checkpoint whatever completed — even a cancelled or crashed chunk
 		// hands its finished units to the store, and exactness is preserved
@@ -695,21 +772,33 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, m experiment.Met
 		if err := cur.Merge(delta); err != nil {
 			return nil, ran, m, false, err
 		}
+		mergeStart := time.Now()
 		if err := s.mergeRetry(j.ctx, j.Key, cfg.Describe(), delta); err != nil {
 			// The units ran but the store never accepted them; drop the
 			// in-memory view so the next step recomputes from the store's
 			// truth instead of serving unmerged state.
 			return nil, ran, m, false, err
 		}
+		mergeDur := time.Since(mergeStart)
+		s.ins.mergeSeconds.Observe(mergeDur.Seconds())
+		j.trace.add(SpanEvent{Kind: SpanStoreMerge, UnitLo: lo, UnitHi: hi,
+			DurMS: float64(mergeDur) / float64(time.Millisecond)})
 	}
 	return cur, ran, m, false, runErr
+}
+
+// unitsRunSoFar reads the job's executed-unit count under its lock.
+func (j *Job) unitsRunSoFar() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.unitsRun
 }
 
 // lookupRetry is store.Lookup with capped exponential backoff on transient
 // read failures.
 func (s *Scheduler) lookupRetry(ctx context.Context, key string) (*experiment.Tally, error) {
 	var t *experiment.Tally
-	err := retry(ctx, func() error {
+	err := retry(ctx, s.ins.storeRetryRead, func() error {
 		var e error
 		t, e = s.store.Lookup(key)
 		return e
@@ -721,19 +810,23 @@ func (s *Scheduler) lookupRetry(ctx context.Context, key string) (*experiment.Ta
 // write failures. Retrying a failed merge is safe: the store only commits
 // entries whose persist succeeded, so a retried delta never double-counts.
 func (s *Scheduler) mergeRetry(ctx context.Context, key, desc string, delta *experiment.Tally) error {
-	return retry(ctx, func() error {
+	return retry(ctx, s.ins.storeRetryWrite, func() error {
 		_, err := s.store.Merge(key, desc, delta)
 		return err
 	})
 }
 
 // retry runs op up to storeAttempts times with jittered exponential backoff,
-// aborting early when ctx dies.
-func retry(ctx context.Context, op func() error) error {
+// aborting early when ctx dies. Each re-attempt after a failure bumps
+// retries.
+func retry(ctx context.Context, retries *metrics.Counter, op func() error) error {
 	var err error
 	for attempt := 1; attempt <= storeAttempts; attempt++ {
-		if attempt > 1 && !sleepCtx(ctx, backoffDelay(attempt-1)) {
-			return err
+		if attempt > 1 {
+			retries.Inc()
+			if !sleepCtx(ctx, backoffDelay(attempt-1)) {
+				return err
+			}
 		}
 		if err = op(); err == nil {
 			return nil

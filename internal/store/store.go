@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/experiment"
 )
@@ -53,16 +54,52 @@ type FaultInjector interface {
 	CorruptEntry(key string, data []byte) []byte
 }
 
+// Counters is a point-in-time snapshot of the store's instrumentation. All
+// fields are monotone; the scheduler's metrics registry exposes them as
+// Prometheus counters via scrape-time callbacks, so the store itself stays
+// free of any metrics dependency.
+type Counters struct {
+	// Hits / Misses classify Lookup outcomes (a hit may be served from the
+	// in-memory cache or from disk).
+	Hits, Misses int64
+	// CorruptionsDetected counts entries demoted to misses because their
+	// payload failed to decode or checksum-verify (torn write, bit rot);
+	// CorruptionsRepaired counts the subset later overwritten in place by a
+	// successful Merge.
+	CorruptionsDetected, CorruptionsRepaired int64
+	// ReadErrors / WriteErrors count transient I/O failures surfaced to the
+	// caller (the scheduler retries these with backoff).
+	ReadErrors, WriteErrors int64
+	// BytesRead / BytesWritten total the entry payloads moved through disk.
+	BytesRead, BytesWritten int64
+	// Merges counts successful Merge commits.
+	Merges int64
+}
+
+// counters is the internal atomic form of Counters.
+type counters struct {
+	hits, misses                  atomic.Int64
+	corruptDetected, corruptFixed atomic.Int64
+	readErrs, writeErrs           atomic.Int64
+	bytesRead, bytesWritten       atomic.Int64
+	merges                        atomic.Int64
+}
+
 // Store is a content-addressed tally store with an in-memory cache and
 // optional disk persistence. All methods are safe for concurrent use.
 type Store struct {
 	dir string // "" = memory-only
+
+	ctr counters
 
 	mu      sync.Mutex
 	entries map[string]*experiment.Tally
 	// missing caches keys known to be absent on disk so repeated cold Gets
 	// don't stat the filesystem.
 	missing map[string]bool
+	// corrupt marks keys whose persisted entry was detected damaged; the next
+	// successful Merge over such a key counts as a repair.
+	corrupt map[string]bool
 	faults  FaultInjector
 }
 
@@ -78,7 +115,23 @@ func Open(dir string) (*Store, error) {
 		dir:     dir,
 		entries: make(map[string]*experiment.Tally),
 		missing: make(map[string]bool),
+		corrupt: make(map[string]bool),
 	}, nil
+}
+
+// Counters snapshots the store's instrumentation counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:                s.ctr.hits.Load(),
+		Misses:              s.ctr.misses.Load(),
+		CorruptionsDetected: s.ctr.corruptDetected.Load(),
+		CorruptionsRepaired: s.ctr.corruptFixed.Load(),
+		ReadErrors:          s.ctr.readErrs.Load(),
+		WriteErrors:         s.ctr.writeErrs.Load(),
+		BytesRead:           s.ctr.bytesRead.Load(),
+		BytesWritten:        s.ctr.bytesWritten.Load(),
+		Merges:              s.ctr.merges.Load(),
+	}
 }
 
 // Dir returns the backing directory ("" for memory-only stores).
@@ -110,6 +163,7 @@ func (s *Store) load(key string) (*experiment.Tally, error) {
 		if err := s.faults.StoreRead(key); err != nil {
 			// Injected transient failure: surface it exactly like a real one
 			// so the caller's retry path is what gets exercised.
+			s.ctr.readErrs.Add(1)
 			return nil, fmt.Errorf("store: read %s: %w", key, err)
 		}
 	}
@@ -122,13 +176,17 @@ func (s *Store) load(key string) (*experiment.Tally, error) {
 		// Transient failure (fd exhaustion, permissions): surface it rather
 		// than record a miss — a later Merge must not replace a richer
 		// persisted entry with a fresh delta-only tally.
+		s.ctr.readErrs.Add(1)
 		return nil, fmt.Errorf("store: read %s: %w", key, err)
 	}
+	s.ctr.bytesRead.Add(int64(len(data)))
 	t, ok := decodeEntry(data)
 	if !ok {
 		// A corrupt entry — zero bytes, truncated JSON, checksum mismatch —
 		// is a *detected* miss: the service recomputes and the next Merge
-		// repairs the file in place.
+		// repairs the file in place (counted as a repair then).
+		s.ctr.corruptDetected.Add(1)
+		s.corrupt[key] = true
 		s.missing[key] = true
 		return nil, nil
 	}
@@ -172,9 +230,14 @@ func (s *Store) Lookup(key string) (*experiment.Tally, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, err := s.load(key)
-	if err != nil || t == nil {
+	if err != nil {
 		return nil, err
 	}
+	if t == nil {
+		s.ctr.misses.Add(1)
+		return nil, nil
+	}
+	s.ctr.hits.Add(1)
 	return t.Clone(), nil
 }
 
@@ -208,6 +271,12 @@ func (s *Store) Merge(key, desc string, delta *experiment.Tally) (*experiment.Ta
 	}
 	s.entries[key] = merged
 	delete(s.missing, key)
+	s.ctr.merges.Add(1)
+	if s.corrupt[key] {
+		// This commit overwrote an entry previously detected as damaged.
+		delete(s.corrupt, key)
+		s.ctr.corruptFixed.Add(1)
+	}
 	return merged.Clone(), nil
 }
 
@@ -224,6 +293,7 @@ func (s *Store) persist(key, desc string, t *experiment.Tally) error {
 	}
 	if s.faults != nil {
 		if err := s.faults.StoreWrite(key); err != nil {
+			s.ctr.writeErrs.Add(1)
 			return fmt.Errorf("store: write %s: %w", key, err)
 		}
 		// A torn write "succeeds" now and is detected as a checksum miss at
@@ -232,21 +302,26 @@ func (s *Store) persist(key, desc string, t *experiment.Tally) error {
 	}
 	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {
+		s.ctr.writeErrs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		s.ctr.writeErrs.Add(1)
 		return fmt.Errorf("store: write %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		s.ctr.writeErrs.Add(1)
 		return fmt.Errorf("store: close %s: %w", key, err)
 	}
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		s.ctr.writeErrs.Add(1)
 		return fmt.Errorf("store: rename %s: %w", key, err)
 	}
+	s.ctr.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
