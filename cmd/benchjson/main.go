@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so CI can publish benchmark numbers as a
+// build artifact instead of burying them in a log.
+//
+//	go test -run XXX -bench 'BenchmarkWideVsNarrow|BenchmarkFigure14$' -benchmem . | benchjson -out BENCH_9.json
+//
+// Every benchmark line is captured with all its metrics (ns/op, custom
+// b.ReportMetric units like ns/shot, B/op, allocs/op). When the wide-vs-narrow
+// engine pair is present the report also carries the derived speedup ratios,
+// which is what the PR-level perf tracking diffs between commits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+}
+
+// Parse reads `go test -bench` output and assembles the report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Derived = derive(rep.Benchmarks)
+	return rep, nil
+}
+
+// parseLine parses one result line: a name, an iteration count, then
+// alternating value/unit metric pairs.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// derive computes cross-benchmark ratios the report consumers watch: the
+// wide/narrow engine speedups on the static and adaptive end-to-end paths
+// (narrow ns/shot over wide ns/shot; >1 means the wide engine is faster).
+func derive(bs []Benchmark) map[string]float64 {
+	shot := map[string]float64{}
+	for _, b := range bs {
+		if v, ok := b.Metrics["ns/shot"]; ok && v > 0 {
+			shot[benchBase(b.Name)] = v
+		}
+	}
+	d := map[string]float64{}
+	for _, sched := range []string{"static", "adaptive"} {
+		wide, okW := shot["BenchmarkWideVsNarrow/"+sched+"/wide"]
+		narrow, okN := shot["BenchmarkWideVsNarrow/"+sched+"/narrow"]
+		if okW && okN && wide > 0 {
+			d[sched+"_speedup_x"] = narrow / wide
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// benchBase strips the -N GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo-8" -> "BenchmarkFoo"), including on sub-benchmarks.
+func benchBase(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

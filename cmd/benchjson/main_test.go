@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Xeon Something
+BenchmarkBatchRoundD7Wide-8 	   10000	    807651 ns/op	      3155 ns/shot	       0 B/op	       0 allocs/op
+BenchmarkWideVsNarrow/static/wide-8         	      27	  97608991 ns/op	     47661 ns/shot	 1665070 B/op	    1551 allocs/op
+BenchmarkWideVsNarrow/static/narrow-8       	      25	  91897546 ns/op	     44872 ns/shot	 1231937 B/op	     939 allocs/op
+BenchmarkWideVsNarrow/adaptive/wide-8       	      22	  99592852 ns/op	     48629 ns/shot	 1277398 B/op	    4729 allocs/op
+BenchmarkWideVsNarrow/adaptive/narrow-8     	      22	 108669750 ns/op	     53061 ns/shot	  690618 B/op	    1769 allocs/op
+BenchmarkFigure14-8 	       1	   6084692 ns/op	         2.400 eraser_improvement_x
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" {
+		t.Fatalf("header not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkBatchRoundD7Wide-8" || b0.Iterations != 10000 {
+		t.Fatalf("first benchmark parsed wrong: %+v", b0)
+	}
+	if b0.Metrics["allocs/op"] != 0 || b0.Metrics["ns/shot"] != 3155 {
+		t.Fatalf("metrics parsed wrong: %+v", b0.Metrics)
+	}
+	if got := rep.Benchmarks[5].Metrics["eraser_improvement_x"]; got != 2.4 {
+		t.Fatalf("custom metric parsed wrong: %v", got)
+	}
+}
+
+func TestDerivedSpeedups(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(got, want float64) bool { return got > want-0.001 && got < want+0.001 }
+	if got := rep.Derived["static_speedup_x"]; !within(got, 44872.0/47661.0) {
+		t.Fatalf("static speedup %v", got)
+	}
+	if got := rep.Derived["adaptive_speedup_x"]; !within(got, 53061.0/48629.0) {
+		t.Fatalf("adaptive speedup %v", got)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBroken not-a-number ns/op\nBenchmarkOK 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("malformed line handling wrong: %+v", rep.Benchmarks)
+	}
+	if rep.Derived != nil {
+		t.Fatalf("no engine pair present, derived should be nil: %+v", rep.Derived)
+	}
+}

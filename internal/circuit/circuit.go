@@ -47,13 +47,50 @@ type Op struct {
 	DataWire bool
 }
 
-// MaskedOp pairs an Op with the 64-bit lane mask of batch-simulator shots it
-// applies to: bit i set means shot lane i executes the operation. The batch
-// engine runs masked sequences produced by Builder.MaskedRound, which lets
-// adaptive policies with per-shot plans share one word-parallel round.
+// WordLanes is the number of shot lanes packed into one simulator word. It is
+// the single definition of the lane width: the batch engine, the decoder's
+// per-lane collectors and the experiment harness's work-unit size all derive
+// from it.
+const WordLanes = 64
+
+// MaskWords is the number of 64-lane words in a LaneMask — the widest block
+// the wide batch engine processes at once (MaskWords * WordLanes lanes).
+const MaskWords = 4
+
+// MaxLanes is the widest lane count a masked round can address.
+const MaxLanes = MaskWords * WordLanes
+
+// LaneMask is the lane mask of a masked op: bit b of word w covers lane
+// w*WordLanes+b. The single-word (64-lane) engine reads only word 0; the wide
+// engine reads all MaskWords words, one per 64-lane sub-word of its block.
+type LaneMask = [MaskWords]uint64
+
+// LaneMaskFor returns the mask selecting the first n lanes, n in
+// [0, MaxLanes].
+func LaneMaskFor(n int) LaneMask {
+	var m LaneMask
+	for w := range m {
+		switch {
+		case n >= (w+1)*WordLanes:
+			m[w] = ^uint64(0)
+		case n > w*WordLanes:
+			m[w] = (uint64(1) << uint(n-w*WordLanes)) - 1
+		}
+	}
+	return m
+}
+
+// laneMaskZero reports whether no lane of m is set.
+func laneMaskZero(m LaneMask) bool { return m[0]|m[1]|m[2]|m[3] == 0 }
+
+// MaskedOp pairs an Op with the lane mask of batch-simulator shots it
+// applies to: a set bit means the corresponding shot lane executes the
+// operation. The batch engines run masked sequences produced by
+// Builder.MaskedRound, which lets adaptive policies with per-shot plans share
+// one word-parallel round.
 type MaskedOp struct {
 	Op   Op
-	Mask uint64
+	Mask LaneMask
 }
 
 // LRC pairs a data qubit with the stabilizer whose parity qubit it swaps
@@ -105,13 +142,13 @@ type Builder struct {
 	// round and the lanes requesting each pairing.
 	mops     []MaskedOp
 	laneLRCs [][]laneLRC
-	laneMask []uint64 // union of LRC lane masks per stabilizer
+	laneMask []LaneMask // union of LRC lane masks per stabilizer
 }
 
 // laneLRC is one merged (data qubit, lane set) LRC entry of a stabilizer.
 type laneLRC struct {
 	data int
-	mask uint64
+	mask LaneMask
 }
 
 // NewBuilder returns a Builder for the layout.
@@ -242,38 +279,53 @@ func (b *Builder) Round(plan Plan) []Op {
 	return b.ops
 }
 
-// MaskedRound merges up to 64 per-lane round plans into one masked operation
-// sequence for the batch simulator. plans[i] is lane i's plan; lanes whose
-// bit is clear in active are skipped. Every lane shares the identical
-// syndrome-extraction skeleton (opening Hadamards, the four CNOT steps,
-// closing Hadamards, measure + reset), emitted once under the full active
-// mask; only the LRC operations — forward SWAPs, data-wire measurements,
-// return transfers, DQLR epilogues — differ by lane and carry the mask of
-// the lanes that planned them. Protocol and CondReturn must agree across
-// active lanes (they are policy-level constants, not per-shot decisions).
-// The returned slice aliases an internal buffer valid until the next call.
-func (b *Builder) MaskedRound(plans []Plan, active uint64) []MaskedOp {
+// MaskedRound merges up to MaxLanes per-lane round plans into one masked
+// operation sequence for the batch simulators. plans[i] is lane i's plan;
+// lanes whose bit is clear in active are skipped. Every lane shares the
+// identical syndrome-extraction skeleton (opening Hadamards, the four CNOT
+// steps, closing Hadamards, measure + reset), emitted once under the full
+// active mask; only the LRC operations — forward SWAPs, data-wire
+// measurements, return transfers, DQLR epilogues — differ by lane and carry
+// the mask of the lanes that planned them. Protocol and CondReturn must agree
+// across active lanes that schedule LRCs (they are policy-level constants,
+// not per-shot decisions); lanes with empty plans carry no vote, so mixing
+// zero-valued idle plans with scheduling lanes is fine. The returned slice
+// aliases an internal buffer valid until the next call.
+//
+// Per stabilizer, the merged (data qubit, lane set) entries are emitted in
+// ascending data-qubit order — a canonical order independent of which lanes
+// requested each pairing. That invariant is what makes the wide engine
+// bit-exact per 64-lane sub-word: restricting the sequence to any one word of
+// the mask yields the same relative op order the single-word builder would
+// produce for those 64 lanes alone, so every sub-word's RNG streams see an
+// identical call sequence.
+func (b *Builder) MaskedRound(plans []Plan, active LaneMask) []MaskedOp {
 	l := b.layout
 	b.mops = b.mops[:0]
 	if b.laneLRCs == nil {
 		b.laneLRCs = make([][]laneLRC, l.NumParity)
-		b.laneMask = make([]uint64, l.NumParity)
+		b.laneMask = make([]LaneMask, l.NumParity)
 	}
 	for i := range b.laneLRCs {
 		b.laneLRCs[i] = b.laneLRCs[i][:0]
-		b.laneMask[i] = 0
+		b.laneMask[i] = LaneMask{}
 	}
 
+	// Probe Protocol/CondReturn from the first active lane that actually
+	// schedules LRCs: both settings only affect LRC ops, and an idle lane's
+	// zero-valued plan must not override the scheduling lanes' choice. This
+	// keeps the sub-word restriction property exact — the probe result is
+	// the same whether it scans one 64-lane word or the whole wide block.
 	proto, condReturn := ProtocolSwap, false
 	for i := range plans {
-		if active&(1<<uint(i)) != 0 {
+		if active[i>>6]&(1<<uint(i&63)) != 0 && len(plans[i].LRCs) != 0 {
 			proto, condReturn = plans[i].Protocol, plans[i].CondReturn
 			break
 		}
 	}
 	for i := range plans {
-		bit := uint64(1) << uint(i)
-		if active&bit == 0 {
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		if active[w]&bit == 0 {
 			continue
 		}
 		for _, lrc := range plans[i].LRCs {
@@ -281,15 +333,22 @@ func (b *Builder) MaskedRound(plans []Plan, active uint64) []MaskedOp {
 			merged := false
 			for j := range list {
 				if list[j].data == lrc.Data {
-					list[j].mask |= bit
+					list[j].mask[w] |= bit
 					merged = true
 					break
 				}
 			}
 			if !merged {
-				b.laneLRCs[lrc.Stab] = append(list, laneLRC{lrc.Data, bit})
+				var m LaneMask
+				m[w] = bit
+				list = append(list, laneLRC{lrc.Data, m})
+				// Keep entries sorted by data qubit (see the contract above).
+				for j := len(list) - 1; j > 0 && list[j].data < list[j-1].data; j-- {
+					list[j], list[j-1] = list[j-1], list[j]
+				}
+				b.laneLRCs[lrc.Stab] = list
 			}
-			b.laneMask[lrc.Stab] |= bit
+			b.laneMask[lrc.Stab][w] |= bit
 		}
 	}
 	useSwap := proto == ProtocolSwap
@@ -336,11 +395,11 @@ func (b *Builder) MaskedRound(plans []Plan, active uint64) []MaskedOp {
 		if s.Kind != surfacecode.KindX {
 			continue
 		}
-		var swapped uint64
+		var swapped LaneMask
 		if useSwap {
 			swapped = b.laneMask[s.Index]
 		}
-		if rem := active &^ swapped; rem != 0 {
+		if rem := laneMaskAndNot(active, swapped); !laneMaskZero(rem) {
 			b.emitMasked(Op{Kind: OpH, Q0: s.Ancilla, Q1: -1, Stab: -1}, rem)
 		}
 		if useSwap {
@@ -355,11 +414,11 @@ func (b *Builder) MaskedRound(plans []Plan, active uint64) []MaskedOp {
 	// qubit untouched, exactly as in the scalar Round.
 	for i := range l.Stabilizers {
 		s := &l.Stabilizers[i]
-		var swapped uint64
+		var swapped LaneMask
 		if useSwap {
 			swapped = b.laneMask[s.Index]
 		}
-		if rem := active &^ swapped; rem != 0 {
+		if rem := laneMaskAndNot(active, swapped); !laneMaskZero(rem) {
 			b.emitMasked(Op{Kind: OpMeasure, Q0: s.Ancilla, Q1: -1, Stab: s.Index}, rem)
 			b.emitMasked(Op{Kind: OpReset, Q0: s.Ancilla, Q1: -1, Stab: -1}, rem)
 		}
@@ -412,8 +471,13 @@ func (b *Builder) FinalMeasurement() []Op {
 
 func (b *Builder) emit(op Op) { b.ops = append(b.ops, op) }
 
-func (b *Builder) emitMasked(op Op, mask uint64) {
+func (b *Builder) emitMasked(op Op, mask LaneMask) {
 	b.mops = append(b.mops, MaskedOp{Op: op, Mask: mask})
+}
+
+// laneMaskAndNot returns a &^ b per word.
+func laneMaskAndNot(a, b LaneMask) LaneMask {
+	return LaneMask{a[0] &^ b[0], a[1] &^ b[1], a[2] &^ b[2], a[3] &^ b[3]}
 }
 
 // CountTwoQubitOps returns the number of two-qubit operations in ops,

@@ -1,10 +1,15 @@
 package decoder
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/circuit"
+)
 
 // BatchLanes is the number of shot lanes in one word of the batch simulator
-// (internal/sim/batch); kept here so this package does not import it.
-const BatchLanes = 64
+// (internal/sim/batch); derived from the single source of lane width in
+// package circuit so this package does not import the simulator.
+const BatchLanes = circuit.WordLanes
 
 // BatchDecoder is the batched counterpart of Engine, implemented by both the
 // MWPM and union-find decoders: decode all (or a range of) the lanes of a
@@ -80,6 +85,19 @@ func (c *BatchCollector) Add(word uint64, z, round int) {
 func (c *BatchCollector) AddWords(words []uint64, m []StabMap, round int, active uint64) {
 	for _, ks := range m {
 		if word := words[ks.Idx] & active; word != 0 {
+			c.Add(word, int(ks.Ord), round)
+		}
+	}
+}
+
+// AddWideWords is AddWords for the wide engine's flat stride-`stride` event
+// planes: it fans out sub-word `sub` (the 64 lanes of one work unit) of each
+// mapped stabilizer, reading words[Idx*stride+sub]. Collectors stay one per
+// 64-lane unit, so everything downstream of the sim→decode boundary is
+// untouched by block width.
+func (c *BatchCollector) AddWideWords(words []uint64, stride, sub int, m []StabMap, round int, active uint64) {
+	for _, ks := range m {
+		if word := words[int(ks.Idx)*stride+sub] & active; word != 0 {
 			c.Add(word, int(ks.Ord), round)
 		}
 	}

@@ -74,6 +74,29 @@ type Config struct {
 	// eligible static policies; benchmarks and engine-agreement tests use it
 	// to pit the two simulators against each other.
 	ForceScalar bool
+	// ForceNarrow keeps the batch path on the single-word (64-lane) engine,
+	// disabling the 256-lane wide blocks. Units are bit-identical either way
+	// — the wide engine runs 4 units on 4 independent per-unit RNG streams —
+	// so ForceNarrow does not enter Config.Key or the RNG stream; benchmarks
+	// and the wide/narrow agreement tests use it to compare the engines.
+	ForceNarrow bool
+}
+
+// BlockUnits is the number of consecutive 64-lane work units one wide block
+// advances together.
+const BlockUnits = batch.BlockWords
+
+// UnitAlign returns the unit-range alignment the config's engine prefers:
+// BlockUnits on the wide batch path — schedulers that round chunk bounds to
+// multiples of it keep every block whole, so no unit falls back to the
+// single-word engine mid-range — and 1 when only single-unit paths run.
+// Alignment is a throughput hint, not a correctness requirement: unaligned
+// ranges run the stray units on the narrow engine with identical results.
+func (c Config) UnitAlign() int {
+	if batchEligible(c) && !c.ForceNarrow {
+		return BlockUnits
+	}
+	return 1
 }
 
 // batchEligible reports whether the experiment can run on the word-parallel
@@ -203,12 +226,22 @@ func (c Config) NumUnits() int {
 type Metrics struct {
 	SimNS    int64
 	DecodeNS int64
+
+	// WideUnits, NarrowUnits and ScalarUnits count the executed work units by
+	// the engine width that ran them: 256-lane wide blocks (4 units each),
+	// the single-word 64-lane engine, and the scalar per-shot simulator.
+	WideUnits   int64
+	NarrowUnits int64
+	ScalarUnits int64
 }
 
 // Add accumulates other into m.
 func (m *Metrics) Add(other Metrics) {
 	m.SimNS += other.SimNS
 	m.DecodeNS += other.DecodeNS
+	m.WideUnits += other.WideUnits
+	m.NarrowUnits += other.NarrowUnits
+	m.ScalarUnits += other.ScalarUnits
 }
 
 // Run executes the experiment at its configured shot count and derives the
@@ -307,19 +340,23 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) (*Tally
 		seeds[i] = root.Uint64()
 	}
 
-	units := hi - lo
+	useBatch := batchEligible(cfg)
+	// Workers stride over schedulable items: 4-unit blocks on the wide batch
+	// path, single units otherwise.
+	items := hi - lo
+	if align := cfg.UnitAlign(); align > 1 {
+		items = (hi+align-1)/align - lo/align
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > units {
-		workers = units
+	if workers > items {
+		workers = items
 	}
 	if workers < 1 {
 		workers = 1
 	}
-
-	useBatch := batchEligible(cfg)
 	var pipe *decodePipeline
 	if useBatch && workers > 1 {
 		pipe = newDecodePipeline(workers, newEngine)
@@ -336,9 +373,9 @@ func runUnitRange(ctx context.Context, cfg Config, lo, hi, shotsCap int) (*Tally
 			sink := newDecodeSink(pipe, newEngine)
 			switch {
 			case useBatch && staticPlans(cfg.Policy):
-				runBatchWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc, &workerMetrics[w])
 			case useBatch:
-				runBatchLaneWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc)
+				runBatchLaneWorker(ctx, cfg, layout, sink, rounds, np, rates, seeds, lo, hi, shotsCap, w, workers, acc, &workerMetrics[w])
 			default:
 				runWorker(ctx, cfg, layout, newEngine(), rounds, np, rates, seeds, lo, hi, w, workers, acc, &workerMetrics[w])
 			}
@@ -489,13 +526,16 @@ func (p *decodePipeline) close() {
 // decodeSink is a sim worker's hand-off point to the decode stage. In
 // pipelined mode units go to the shared decode pool; in inline mode (single
 // worker, or scalar fallback ineligible for batching) the worker decodes
-// its own units with its own engine and arenas.
+// its own units with its own engine and arenas. A sink holds up to
+// BlockUnits units in flight — one slot per sub-word of a wide block — so a
+// wide sim step fans out to per-unit collectors while everything downstream
+// of the sim→decode boundary stays 64-lane.
 type decodeSink struct {
 	pipe *decodePipeline
-	cur  *unitTask
+	cur  [BlockUnits]*unitTask
 
-	eng decoder.BatchDecoder
-	col *decoder.BatchCollector
+	eng  decoder.BatchDecoder
+	cols [BlockUnits]*decoder.BatchCollector
 
 	simNS    int64
 	decodeNS int64
@@ -505,31 +545,42 @@ func newDecodeSink(pipe *decodePipeline, newEngine func() decoder.BatchDecoder) 
 	if pipe != nil {
 		return &decodeSink{pipe: pipe}
 	}
-	return &decodeSink{eng: newEngine(), col: decoder.NewBatchCollector()}
+	return &decodeSink{eng: newEngine()}
 }
 
-// begin returns the empty collector for the next unit.
-func (sk *decodeSink) begin() *decoder.BatchCollector {
+// begin returns the empty collector for the next (single) unit.
+func (sk *decodeSink) begin() *decoder.BatchCollector { return sk.beginSlot(0) }
+
+// beginSlot returns the empty collector for the unit in slot i.
+func (sk *decodeSink) beginSlot(i int) *decoder.BatchCollector {
 	if sk.pipe != nil {
-		sk.cur = sk.pipe.get()
-		return sk.cur.col
+		sk.cur[i] = sk.pipe.get()
+		return sk.cur[i].col
 	}
-	sk.col.Reset()
-	return sk.col
+	if sk.cols[i] == nil {
+		sk.cols[i] = decoder.NewBatchCollector()
+	}
+	sk.cols[i].Reset()
+	return sk.cols[i]
 }
 
-// finish completes a unit whose collector holds every detector layer:
+// finish completes a single unit whose collector holds every detector layer:
 // pipelined units are handed off, inline units decode immediately into acc.
 func (sk *decodeSink) finish(obs, active uint64, lanes int, acc *Tally) {
+	sk.finishSlot(0, obs, active, lanes, acc)
+}
+
+// finishSlot is finish for the unit in slot i.
+func (sk *decodeSink) finishSlot(i int, obs, active uint64, lanes int, acc *Tally) {
 	if sk.pipe != nil {
-		ut := sk.cur
-		sk.cur = nil
+		ut := sk.cur[i]
+		sk.cur[i] = nil
 		ut.obs, ut.active, ut.lanes = obs, active, lanes
 		sk.pipe.submit(ut)
 		return
 	}
 	t0 := time.Now()
-	pred := sk.eng.DecodeLanes(sk.col, 0, lanes)
+	pred := sk.eng.DecodeLanes(sk.cols[i], 0, lanes)
 	sk.decodeNS += time.Since(t0).Nanoseconds()
 	acc.LogicalErrors += bits.OnesCount64((pred ^ obs) & active)
 }
@@ -622,6 +673,7 @@ func runWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, dec 
 		if predicted != s.ObservableFlip(final) {
 			acc.LogicalErrors++
 		}
+		m.ScalarUnits++
 	}
 }
 
@@ -637,138 +689,313 @@ func kindStabs(layout *surfacecode.Layout, basis surfacecode.Kind) []decoder.Sta
 	return ks
 }
 
+// blockRange clamps block blk's unit range to [lo, hi).
+func blockRange(blk, align, lo, hi int) (a, bnd int) {
+	a, bnd = blk*align, (blk+1)*align
+	if a < lo {
+		a = lo
+	}
+	if bnd > hi {
+		bnd = hi
+	}
+	return a, bnd
+}
+
 // runBatchWorker is runWorker's word-parallel counterpart: each work unit is
 // a batch of up to 64 shots running through the bit-packed simulator, with
 // detection events fanned out to per-lane lists for decoding. Static
 // policies plan identically for every lane, so one plan and one op sequence
-// per round serve the whole batch. Decoding goes through the sink: inline
-// on single-worker runs, pipelined to the decode pool otherwise.
+// per round serve the whole batch. Workers stride over 4-unit blocks: a
+// whole block at full width runs on the 256-lane wide engine (4 independent
+// per-unit RNG streams, bit-identical to 4 serial narrow units), while
+// partial blocks at range or shot-cap edges fall back unit by unit to the
+// single-word engine. Decoding goes through the sink: inline on
+// single-worker runs, pipelined to the decode pool otherwise.
 func runBatchWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, sink *decodeSink,
-	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally, m *Metrics) {
 
 	builder := circuit.NewBuilder(layout)
 	pol := core.NewPolicy(cfg.Policy, layout, cfg.Protocol)
-	bs := batch.New(layout, np, cfg.Basis)
-	bs.UseRates(rates)
 	kstabs := kindStabs(layout, cfg.Basis)
+	var bs *batch.Simulator // narrow engine, built on first partial block
+	var ws *batch.Wide      // wide engine, built on first whole block
 
-	for b := lo + w; b < hi; b += stride {
+	align := 1
+	if !cfg.ForceNarrow {
+		align = BlockUnits
+	}
+	for blk := lo/align + w; blk < (hi+align-1)/align; blk += stride {
 		if ctx.Err() != nil {
 			return
 		}
-		u0 := time.Now()
-		lanes := batch.Lanes
-		if rem := shotsCap - b*batch.Lanes; rem < lanes {
-			lanes = rem
-		}
-		acc.Covered.Add(b)
-		acc.Shots += lanes
-		active := batch.LaneMask(lanes)
-		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
-		pol.Reset()
-		col := sink.begin()
+		a, bnd := blockRange(blk, align, lo, hi)
+		if bnd-a == BlockUnits && shotsCap >= bnd*batch.Lanes {
+			u0 := time.Now()
+			if ws == nil {
+				ws = batch.NewWide(layout, np, cfg.Basis)
+				ws.UseRates(rates)
+			}
+			var rngs [batch.BlockWords]*stats.RNG
+			var cols [BlockUnits]*decoder.BatchCollector
+			for j := 0; j < BlockUnits; j++ {
+				b := a + j
+				acc.Covered.Add(b)
+				rngs[j] = stats.NewRNG(batchSeeds[b], uint64(b))
+				cols[j] = sink.beginSlot(j)
+			}
+			acc.Shots += batch.BlockLanes
+			ws.Reset(rngs)
+			pol.Reset()
 
-		for r := 1; r <= rounds; r++ {
-			plan := pol.PlanRound(r)
-			acc.LRCs += int64(len(plan.LRCs)) * int64(lanes)
-			// Decision accounting against the leakage state at the end of
-			// the previous round, as in the scalar path.
-			for q := 0; q < layout.NumData; q++ {
-				leakedCnt := int64(bits.OnesCount64(bs.LeakedWord(q) & active))
-				if pol.PlannedLRC(q) {
-					acc.TruePos += leakedCnt
-					acc.FalsePos += int64(lanes) - leakedCnt
-				} else {
-					acc.FalseNeg += leakedCnt
-					acc.TrueNeg += int64(lanes) - leakedCnt
+			for r := 1; r <= rounds; r++ {
+				plan := pol.PlanRound(r)
+				acc.LRCs += int64(len(plan.LRCs)) * int64(batch.BlockLanes)
+				for q := 0; q < layout.NumData; q++ {
+					lk := ws.LeakedBlock(q)
+					leakedCnt := int64(bits.OnesCount64(lk[0]) + bits.OnesCount64(lk[1]) +
+						bits.OnesCount64(lk[2]) + bits.OnesCount64(lk[3]))
+					if pol.PlannedLRC(q) {
+						acc.TruePos += leakedCnt
+						acc.FalsePos += int64(batch.BlockLanes) - leakedCnt
+					} else {
+						acc.FalseNeg += leakedCnt
+						acc.TrueNeg += int64(batch.BlockLanes) - leakedCnt
+					}
 				}
+
+				events := ws.RunRound(builder.Round(plan))
+				for j := 0; j < BlockUnits; j++ {
+					cols[j].AddWideWords(events, batch.BlockWords, j, kstabs, r, batch.AllLanes)
+				}
+				dleak, pleak := ws.LeakedCounts(batch.BlockMask(batch.BlockLanes))
+				acc.LPRDataNum[r-1] += int64(dleak)
+				acc.LPRParityNum[r-1] += int64(pleak)
 			}
 
-			events := bs.RunRound(builder.Round(plan))
-			col.AddWords(events, kstabs, r, active)
-			dleak, pleak := bs.LeakedCounts(active)
-			acc.LPRDataNum[r-1] += int64(dleak)
-			acc.LPRParityNum[r-1] += int64(pleak)
+			fdet, obs := ws.FinalRound(builder.FinalMeasurement())
+			for j := 0; j < BlockUnits; j++ {
+				cols[j].AddWideWords(fdet, batch.BlockWords, j, kstabs, rounds+1, batch.AllLanes)
+			}
+			sink.simNS += time.Since(u0).Nanoseconds()
+			for j := 0; j < BlockUnits; j++ {
+				sink.finishSlot(j, obs[j], batch.AllLanes, batch.Lanes, acc)
+			}
+			m.WideUnits += int64(BlockUnits)
+			continue
 		}
 
-		fdet, obs := bs.FinalRound(builder.FinalMeasurement())
-		col.AddWords(fdet, kstabs, rounds+1, active)
-		sink.simNS += time.Since(u0).Nanoseconds()
-		sink.finish(obs, active, lanes, acc)
+		for b := a; b < bnd; b++ {
+			if ctx.Err() != nil {
+				return
+			}
+			u0 := time.Now()
+			if bs == nil {
+				bs = batch.New(layout, np, cfg.Basis)
+				bs.UseRates(rates)
+			}
+			lanes := batch.Lanes
+			if rem := shotsCap - b*batch.Lanes; rem < lanes {
+				lanes = rem
+			}
+			acc.Covered.Add(b)
+			acc.Shots += lanes
+			active := batch.LaneMask(lanes)
+			bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
+			pol.Reset()
+			col := sink.begin()
+
+			for r := 1; r <= rounds; r++ {
+				plan := pol.PlanRound(r)
+				acc.LRCs += int64(len(plan.LRCs)) * int64(lanes)
+				// Decision accounting against the leakage state at the end of
+				// the previous round, as in the scalar path.
+				for q := 0; q < layout.NumData; q++ {
+					leakedCnt := int64(bits.OnesCount64(bs.LeakedWord(q) & active))
+					if pol.PlannedLRC(q) {
+						acc.TruePos += leakedCnt
+						acc.FalsePos += int64(lanes) - leakedCnt
+					} else {
+						acc.FalseNeg += leakedCnt
+						acc.TrueNeg += int64(lanes) - leakedCnt
+					}
+				}
+
+				events := bs.RunRound(builder.Round(plan))
+				col.AddWords(events, kstabs, r, active)
+				dleak, pleak := bs.LeakedCounts(active)
+				acc.LPRDataNum[r-1] += int64(dleak)
+				acc.LPRParityNum[r-1] += int64(pleak)
+			}
+
+			fdet, obs := bs.FinalRound(builder.FinalMeasurement())
+			col.AddWords(fdet, kstabs, rounds+1, active)
+			sink.simNS += time.Since(u0).Nanoseconds()
+			sink.finish(obs, active, lanes, acc)
+			m.NarrowUnits++
+		}
 	}
 }
 
 // runBatchLaneWorker is the adaptive policies' word-parallel counterpart of
 // runBatchWorker: each work unit is a batch of up to 64 shots whose lanes
 // each carry an independent instance of the policy (core.LanePolicies). Per
-// round the 64 plans are merged into one lane-masked op sequence — every
-// lane shares the syndrome-extraction skeleton, only the LRC ops differ by
-// lane — and the engine's event, readout and ground-truth words are fanned
-// back out to the per-lane instances. Decoding goes through the sink:
+// round the per-lane plans are merged into one lane-masked op sequence —
+// every lane shares the syndrome-extraction skeleton, only the LRC ops
+// differ by lane — and the engine's event, readout and ground-truth words
+// are fanned back out to the per-lane instances. Whole 4-unit blocks run
+// 256 policy instances against the wide engine; partial blocks fall back
+// unit by unit to the 64-lane engine. Decoding goes through the sink:
 // inline on single-worker runs, pipelined to the decode pool otherwise.
 func runBatchLaneWorker(ctx context.Context, cfg Config, layout *surfacecode.Layout, sink *decodeSink,
-	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally) {
+	rounds int, np noise.Params, rates *device.Rates, batchSeeds []uint64, lo, hi, shotsCap, w, stride int, acc *Tally, m *Metrics) {
 
 	builder := circuit.NewBuilder(layout)
-	lp := core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol)
-	bs := batch.New(layout, np, cfg.Basis)
-	bs.UseRates(rates)
-	bs.TrackML = cfg.Policy == core.PolicyEraserM
 	kstabs := kindStabs(layout, cfg.Basis)
+	trackML := cfg.Policy == core.PolicyEraserM
+	var bs *batch.Simulator // narrow engine + 64 lane policies (partial blocks)
+	var lp *core.LanePolicies
+	var ws *batch.Wide // wide engine + 256 lane policies (whole blocks)
+	var lpw *core.LanePolicies
 
-	for b := lo + w; b < hi; b += stride {
+	align := 1
+	if !cfg.ForceNarrow {
+		align = BlockUnits
+	}
+	for blk := lo/align + w; blk < (hi+align-1)/align; blk += stride {
 		if ctx.Err() != nil {
 			return
 		}
-		u0 := time.Now()
-		lanes := batch.Lanes
-		if rem := shotsCap - b*batch.Lanes; rem < lanes {
-			lanes = rem
-		}
-		acc.Covered.Add(b)
-		acc.Shots += lanes
-		active := batch.LaneMask(lanes)
-		bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
-		lp.Reset()
-		col := sink.begin()
+		a, bnd := blockRange(blk, align, lo, hi)
+		if bnd-a == BlockUnits && shotsCap >= bnd*batch.Lanes {
+			u0 := time.Now()
+			if ws == nil {
+				ws = batch.NewWide(layout, np, cfg.Basis)
+				ws.UseRates(rates)
+				ws.TrackML = trackML
+				lpw = core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol, batch.BlockLanes)
+			}
+			var rngs [batch.BlockWords]*stats.RNG
+			var cols [BlockUnits]*decoder.BatchCollector
+			for j := 0; j < BlockUnits; j++ {
+				b := a + j
+				acc.Covered.Add(b)
+				rngs[j] = stats.NewRNG(batchSeeds[b], uint64(b))
+				cols[j] = sink.beginSlot(j)
+			}
+			acc.Shots += batch.BlockLanes
+			ws.Reset(rngs)
+			lpw.Reset()
+			activeB := batch.BlockMask(batch.BlockLanes)
 
-		for r := 1; r <= rounds; r++ {
-			plans := lp.PlanRound(r, active)
-			acc.LRCs += lp.LRCTotal()
-			// Decision accounting against the leakage state at the end of
-			// the previous round, as in the scalar path.
-			for q := 0; q < layout.NumData; q++ {
-				planned := lp.PlannedWord(q)
-				leaked := bs.LeakedWord(q) & active
-				tp := int64(bits.OnesCount64(planned & leaked))
-				fp := int64(bits.OnesCount64(planned &^ leaked))
-				fn := int64(bits.OnesCount64(leaked &^ planned))
-				acc.TruePos += tp
-				acc.FalsePos += fp
-				acc.FalseNeg += fn
-				acc.TrueNeg += int64(lanes) - tp - fp - fn
+			for r := 1; r <= rounds; r++ {
+				plans := lpw.PlanRound(r, activeB)
+				acc.LRCs += lpw.LRCTotal()
+				for q := 0; q < layout.NumData; q++ {
+					planned := lpw.PlannedWords(q)
+					leaked := ws.LeakedBlock(q)
+					var tp, fp, fn int64
+					for j := 0; j < batch.BlockWords; j++ {
+						tp += int64(bits.OnesCount64(planned[j] & leaked[j]))
+						fp += int64(bits.OnesCount64(planned[j] &^ leaked[j]))
+						fn += int64(bits.OnesCount64(leaked[j] &^ planned[j]))
+					}
+					acc.TruePos += tp
+					acc.FalsePos += fp
+					acc.FalseNeg += fn
+					acc.TrueNeg += int64(batch.BlockLanes) - tp - fp - fn
+				}
+
+				events := ws.RunRoundMasked(builder.MaskedRound(plans, activeB))
+				for j := 0; j < BlockUnits; j++ {
+					cols[j].AddWideWords(events, batch.BlockWords, j, kstabs, r, batch.AllLanes)
+				}
+				dleak, pleak := ws.LeakedCounts(activeB)
+				acc.LPRDataNum[r-1] += int64(dleak)
+				acc.LPRParityNum[r-1] += int64(pleak)
+
+				lpw.Observe(core.LaneRoundInfo{
+					Round:          r,
+					Active:         activeB,
+					Events:         events,
+					MLParityLeak:   ws.MLParityLeak(),
+					MLParityVal:    ws.MLParityVal(),
+					TrueLeakedData: ws.LeakedDataWords(),
+				})
 			}
 
-			events := bs.RunRoundMasked(builder.MaskedRound(plans, active))
-			col.AddWords(events, kstabs, r, active)
-			dleak, pleak := bs.LeakedCounts(active)
-			acc.LPRDataNum[r-1] += int64(dleak)
-			acc.LPRParityNum[r-1] += int64(pleak)
-
-			lp.Observe(core.LaneRoundInfo{
-				Round:          r,
-				Active:         active,
-				Events:         events,
-				MLParityLeak:   bs.MLParityLeak(),
-				MLParityVal:    bs.MLParityVal(),
-				TrueLeakedData: bs.LeakedDataWords(),
-			})
+			fdet, obs := ws.FinalRound(builder.FinalMeasurement())
+			for j := 0; j < BlockUnits; j++ {
+				cols[j].AddWideWords(fdet, batch.BlockWords, j, kstabs, rounds+1, batch.AllLanes)
+			}
+			sink.simNS += time.Since(u0).Nanoseconds()
+			for j := 0; j < BlockUnits; j++ {
+				sink.finishSlot(j, obs[j], batch.AllLanes, batch.Lanes, acc)
+			}
+			m.WideUnits += int64(BlockUnits)
+			continue
 		}
 
-		fdet, obs := bs.FinalRound(builder.FinalMeasurement())
-		col.AddWords(fdet, kstabs, rounds+1, active)
-		sink.simNS += time.Since(u0).Nanoseconds()
-		sink.finish(obs, active, lanes, acc)
+		for b := a; b < bnd; b++ {
+			if ctx.Err() != nil {
+				return
+			}
+			u0 := time.Now()
+			if bs == nil {
+				bs = batch.New(layout, np, cfg.Basis)
+				bs.UseRates(rates)
+				bs.TrackML = trackML
+				lp = core.NewLanePolicies(cfg.Policy, layout, cfg.Protocol, batch.Lanes)
+			}
+			lanes := batch.Lanes
+			if rem := shotsCap - b*batch.Lanes; rem < lanes {
+				lanes = rem
+			}
+			acc.Covered.Add(b)
+			acc.Shots += lanes
+			active := batch.LaneMask(lanes)
+			bs.Reset(stats.NewRNG(batchSeeds[b], uint64(b)))
+			lp.Reset()
+			col := sink.begin()
+
+			for r := 1; r <= rounds; r++ {
+				plans := lp.PlanRound(r, circuit.LaneMask{active})
+				acc.LRCs += lp.LRCTotal()
+				// Decision accounting against the leakage state at the end of
+				// the previous round, as in the scalar path.
+				for q := 0; q < layout.NumData; q++ {
+					planned := lp.PlannedWord(q)
+					leaked := bs.LeakedWord(q) & active
+					tp := int64(bits.OnesCount64(planned & leaked))
+					fp := int64(bits.OnesCount64(planned &^ leaked))
+					fn := int64(bits.OnesCount64(leaked &^ planned))
+					acc.TruePos += tp
+					acc.FalsePos += fp
+					acc.FalseNeg += fn
+					acc.TrueNeg += int64(lanes) - tp - fp - fn
+				}
+
+				events := bs.RunRoundMasked(builder.MaskedRound(plans, circuit.LaneMask{active}))
+				col.AddWords(events, kstabs, r, active)
+				dleak, pleak := bs.LeakedCounts(active)
+				acc.LPRDataNum[r-1] += int64(dleak)
+				acc.LPRParityNum[r-1] += int64(pleak)
+
+				lp.Observe(core.LaneRoundInfo{
+					Round:          r,
+					Active:         circuit.LaneMask{active},
+					Events:         events,
+					MLParityLeak:   bs.MLParityLeak(),
+					MLParityVal:    bs.MLParityVal(),
+					TrueLeakedData: bs.LeakedDataWords(),
+				})
+			}
+
+			fdet, obs := bs.FinalRound(builder.FinalMeasurement())
+			col.AddWords(fdet, kstabs, rounds+1, active)
+			sink.simNS += time.Since(u0).Nanoseconds()
+			sink.finish(obs, active, lanes, acc)
+			m.NarrowUnits++
+		}
 	}
 }
 

@@ -45,8 +45,25 @@ import (
 	"repro/internal/surfacecode"
 )
 
-// Lanes is the number of independent shots packed into each word.
-const Lanes = 64
+// WordLanes is the number of independent shots packed into each simulator
+// word. The lane width is defined once, in package circuit, so the builder's
+// masks, the decoder's collectors and this engine can never disagree.
+const WordLanes = circuit.WordLanes
+
+// Lanes is WordLanes under its historical name.
+const Lanes = WordLanes
+
+// BlockWords is the number of 64-lane words the wide engine advances per
+// plane operation; BlockLanes is the resulting shots-per-block.
+const BlockWords = circuit.MaskWords
+
+// BlockLanes is the number of shots one wide block carries (4 work units).
+const BlockLanes = BlockWords * WordLanes
+
+// Block is one wide plane word: BlockWords consecutive 64-lane words, word w
+// holding sub-word w's lanes. It is the same type as circuit.LaneMask, so
+// masked ops feed the wide engine without conversion.
+type Block = circuit.LaneMask
 
 // AllLanes is the lane mask with every lane active.
 const AllLanes = ^uint64(0)
@@ -59,6 +76,9 @@ func LaneMask(n int) uint64 {
 	}
 	return (uint64(1) << uint(n)) - 1
 }
+
+// BlockMask returns the Block mask selecting the first n of BlockLanes lanes.
+func BlockMask(n int) Block { return circuit.LaneMaskFor(n) }
 
 // sampler emits 64-bit Bernoulli(p) masks using geometric skip sampling: it
 // tracks the lane-stream distance to the next success and sets only those
@@ -137,24 +157,63 @@ type Simulator struct {
 	// O(1 + 64p) draws regardless of how many sites exist. Profile-free and
 	// uniform-profile simulators collapse to one class per kind — the exact
 	// sampler layout (and random sequence) of the scalar-rate engine — while
-	// heterogeneous profiles get one stream per distinct rate. depol spans
-	// both the per-qubit P sites (H, measurement flips, resets) and the
-	// per-coupler CNOT-depolarizing sites; the other kinds are per-qubit.
-	rates     *device.Rates // nil = uniform Noise scalars
-	depolQ    []uint16      // [NumQubits] qubit -> depol class
-	depolC    []uint16      // [NumCouplers] coupler -> depol class (profiles only)
-	leakQ     []uint16      // [NumQubits] qubit -> leak-injection class
-	seepQ     []uint16      // [NumQubits] qubit -> seepage class
-	mlQ       []uint16      // [NumQubits] qubit -> multi-level-error class
-	depolBase uint16        // fallback depol class for non-coupler pairs
-	depolS    []sampler     // class samplers, reset per batch
-	leakS     []sampler
-	seepS     []sampler
-	mlS       []sampler
-	depolV    []float64 // class rate values
+	// heterogeneous profiles get one stream per distinct rate.
+	rates *device.Rates // nil = uniform Noise scalars
+	classTables
+	depolS []sampler // class samplers, reset per batch
+	leakS  []sampler
+	seepS  []sampler
+	mlS    []sampler
+}
+
+// classTables maps noise sites to rate classes. The tables are pure functions
+// of (layout, noise, rates), carry no RNG state, and are shared verbatim
+// between the single-word and the wide engine — only the sampler streams are
+// per-engine (and, in the wide engine, per 64-lane sub-word). depol spans
+// both the per-qubit P sites (H, measurement flips, resets) and the
+// per-coupler CNOT-depolarizing sites; the other kinds are per-qubit.
+type classTables struct {
+	depolQ    []uint16 // [NumQubits] qubit -> depol class
+	depolC    []uint16 // [NumCouplers] coupler -> depol class (profiles only)
+	leakQ     []uint16 // [NumQubits] qubit -> leak-injection class
+	seepQ     []uint16 // [NumQubits] qubit -> seepage class
+	mlQ       []uint16 // [NumQubits] qubit -> multi-level-error class
+	depolBase uint16   // fallback depol class for non-coupler pairs
+	depolV    []float64
 	leakV     []float64
 	seepV     []float64
 	mlV       []float64
+}
+
+// buildClassTables groups the noise sites of each kind by rate value. With no
+// profile every kind has exactly one class carrying the scalar noise rate.
+func buildClassTables(l *surfacecode.Layout, n noise.Params, rates *device.Rates) classTables {
+	nq := l.NumQubits
+	var t classTables
+	if rates == nil {
+		t.depolQ, t.depolV = fill16(nq), []float64{n.P}
+		t.leakQ, t.leakV = fill16(nq), []float64{n.PLeak}
+		t.seepQ, t.seepV = fill16(nq), []float64{n.PSeep}
+		t.mlQ, t.mlV = fill16(nq), []float64{n.PMultiLevelError}
+		t.depolC, t.depolBase = nil, 0
+		return t
+	}
+	r := rates
+	// depol classes span the per-qubit P sites, the per-coupler CNOT
+	// sites and the base fallback, in that order, so a uniform profile
+	// still yields a single class 0.
+	all := make([]float64, 0, nq+len(r.CDepol)+1)
+	all = append(all, r.QP...)
+	all = append(all, r.CDepol...)
+	all = append(all, r.Base.P)
+	cls, vals := classify(all)
+	t.depolQ, t.depolC = cls[:nq], cls[nq:nq+len(r.CDepol)]
+	t.depolBase = cls[nq+len(r.CDepol)]
+	t.depolV = vals
+	t.leakQ, t.leakV = classify(r.QLeak)
+	t.seepQ, t.seepV = classify(r.QSeep)
+	t.mlQ, t.mlV = classify(r.QML)
+	return t
 }
 
 // New returns a batch simulator for the layout. Call Reset with a dedicated
@@ -197,33 +256,9 @@ func (s *Simulator) UseRates(r *device.Rates) {
 	s.buildClasses()
 }
 
-// buildClasses groups the noise sites of each kind by rate value. With no
-// profile every kind has exactly one class carrying the scalar Noise rate.
+// buildClasses rebuilds the rate-class tables and sampler arrays.
 func (s *Simulator) buildClasses() {
-	nq := s.Layout.NumQubits
-	if s.rates == nil {
-		s.depolQ, s.depolV = fill16(nq), []float64{s.Noise.P}
-		s.leakQ, s.leakV = fill16(nq), []float64{s.Noise.PLeak}
-		s.seepQ, s.seepV = fill16(nq), []float64{s.Noise.PSeep}
-		s.mlQ, s.mlV = fill16(nq), []float64{s.Noise.PMultiLevelError}
-		s.depolC, s.depolBase = nil, 0
-	} else {
-		r := s.rates
-		// depol classes span the per-qubit P sites, the per-coupler CNOT
-		// sites and the base fallback, in that order, so a uniform profile
-		// still yields a single class 0.
-		all := make([]float64, 0, nq+len(r.CDepol)+1)
-		all = append(all, r.QP...)
-		all = append(all, r.CDepol...)
-		all = append(all, r.Base.P)
-		cls, vals := classify(all)
-		s.depolQ, s.depolC = cls[:nq], cls[nq:nq+len(r.CDepol)]
-		s.depolBase = cls[nq+len(r.CDepol)]
-		s.depolV = vals
-		s.leakQ, s.leakV = classify(r.QLeak)
-		s.seepQ, s.seepV = classify(r.QSeep)
-		s.mlQ, s.mlV = classify(r.QML)
-	}
+	s.classTables = buildClassTables(s.Layout, s.Noise, s.rates)
 	s.depolS = make([]sampler, len(s.depolV))
 	s.leakS = make([]sampler, len(s.leakV))
 	s.seepS = make([]sampler, len(s.seepV))
@@ -366,7 +401,8 @@ func (s *Simulator) RunRound(ops []circuit.Op) []uint64 {
 func (s *Simulator) RunRoundMasked(ops []circuit.MaskedOp) []uint64 {
 	s.beginRound()
 	for _, op := range ops {
-		s.applyMasked(op.Op, op.Mask)
+		// The single-word engine owns lanes 0..63: word 0 of the mask.
+		s.applyMasked(op.Op, op.Mask[0])
 	}
 	return s.finishRound()
 }

@@ -253,7 +253,7 @@ func TestMaskedLRCTouchesOnlyMaskedLanes(t *testing.T) {
 			plans[i] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
 		}
 	}
-	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+	s.RunRoundMasked(b.MaskedRound(plans, circuit.LaneMask{AllLanes}))
 
 	// Lane 2 (leaked, LRC'd) is cleaned; lane 1 (leaked, no LRC) stays
 	// leaked; every other lane stays unleaked.
@@ -278,7 +278,7 @@ func TestMaskedFrameIsolation(t *testing.T) {
 	s.InjectX(q, 1<<3|1<<7)
 	plans := make([]circuit.Plan, Lanes)
 	plans[3] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
-	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+	s.RunRoundMasked(b.MaskedRound(plans, circuit.LaneMask{AllLanes}))
 
 	if s.x[q]&(1<<7) == 0 {
 		t.Fatal("lane 7's X frame was destroyed by lane 3's LRC")
@@ -328,7 +328,7 @@ func TestMLClassificationPlanes(t *testing.T) {
 		LRCs:       []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}},
 		CondReturn: true,
 	}
-	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+	s.RunRoundMasked(b.MaskedRound(plans, circuit.LaneMask{AllLanes}))
 	if got := s.MLDataLeak()[l.SwapPrimary[q]]; got != 1<<2 {
 		t.Fatalf("MLDataLeak = %b, want lane 2", got)
 	}
@@ -354,7 +354,7 @@ func TestCondReturnRequiresTrackML(t *testing.T) {
 			t.Fatal("OpCondReturn without TrackML did not panic")
 		}
 	}()
-	s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+	s.RunRoundMasked(b.MaskedRound(plans, circuit.LaneMask{AllLanes}))
 }
 
 // TestMaskedNoiselessRoundsAreQuiet: masked rounds with heterogeneous
@@ -375,7 +375,7 @@ func TestMaskedNoiselessRoundsAreQuiet(t *testing.T) {
 				plans[i] = circuit.Plan{LRCs: []circuit.LRC{{Data: q, Stab: l.SwapPrimary[q]}}}
 			}
 		}
-		events := s.RunRoundMasked(b.MaskedRound(plans, AllLanes))
+		events := s.RunRoundMasked(b.MaskedRound(plans, circuit.LaneMask{AllLanes}))
 		for i, e := range events {
 			if e != 0 {
 				t.Fatalf("round %d: masked event word %b on stabilizer %d without noise", r, e, i)

@@ -1,0 +1,61 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/surfacecode"
+)
+
+// benchPlan: Always-style LRC coverage (primary stabs get LRCs in alternate
+// rounds) keeps the leaked population at its realistic policy-controlled
+// equilibrium instead of the unbounded no-LRC buildup.
+func benchRoundOps(l *surfacecode.Layout, b *circuit.Builder, r int) []circuit.Op {
+	plan := circuit.Plan{}
+	for q := 0; q < l.NumData; q++ {
+		if (q+r)%2 == 0 {
+			plan.LRCs = append(plan.LRCs, circuit.LRC{Data: q, Stab: l.SwapPrimary[q]})
+		}
+	}
+	return b.Round(plan)
+}
+
+func BenchmarkNarrow4xRealistic(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	n := noise.Standard(1e-3)
+	sims := make([]*Simulator, BlockWords)
+	for w := range sims {
+		sims[w] = New(l, n, surfacecode.KindZ)
+		sims[w].Reset(stats.NewRNG(1, uint64(w)))
+	}
+	bld := circuit.NewBuilder(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops := benchRoundOps(l, bld, i)
+		for w := range sims {
+			sims[w].RunRound(ops)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*BlockLanes), "ns/shot")
+}
+
+func BenchmarkWide1xRealistic(b *testing.B) {
+	l := surfacecode.MustNew(7)
+	n := noise.Standard(1e-3)
+	s := NewWide(l, n, surfacecode.KindZ)
+	var rngs [BlockWords]*stats.RNG
+	for w := range rngs {
+		rngs[w] = stats.NewRNG(1, uint64(w))
+	}
+	s.Reset(rngs)
+	bld := circuit.NewBuilder(l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRound(benchRoundOps(l, bld, i))
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*BlockLanes), "ns/shot")
+}
