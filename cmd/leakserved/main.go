@@ -19,6 +19,15 @@
 //	# cancel; units completed so far stay checkpointed in the store
 //	curl -s -X DELETE localhost:8714/v1/run?job=j1
 //
+//	# submit a whole figure as one campaign and watch it converge live
+//	curl -s localhost:8714/v1/campaign -d '{
+//	  "name": "figure14", "base": {"cycles": 10, "p": 1e-3},
+//	  "distances": [3, 5, 7],
+//	  "policies": ["eraser", "always", "eraser+m", "optimal"],
+//	  "precision": {"target_ci_half_width": 0.01}
+//	}'
+//	curl -sN localhost:8714/v1/campaign/stream?id=c1
+//
 // The server sheds cold work with 429 + Retry-After once -max-pending jobs
 // are queued (cache hits always flow), and SIGINT/SIGTERM starts a draining
 // shutdown: no new submissions, running jobs checkpoint their completed
@@ -29,16 +38,42 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/service"
 	"repro/internal/store"
 )
+
+// newLogger builds the structured JSON logger the scheduler and campaign
+// manager share. Every record carries the same job/campaign/key IDs the span
+// traces and metric labels use, so one grep lines the three signals up.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error|off)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
 
 func main() {
 	var (
@@ -56,9 +91,15 @@ func main() {
 			"how long shutdown waits for running jobs to checkpoint")
 		pprofOn = flag.Bool("pprof", false,
 			"serve net/http/pprof profiling endpoints under /debug/pprof/")
+		logLevel = flag.String("log-level", "info",
+			"structured JSON log level on stderr (debug|info|warn|error|off)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		log.Fatalf("leakserved: %v", err)
+	}
 	st, err := store.Open(*dir)
 	if err != nil {
 		log.Fatalf("leakserved: %v", err)
@@ -68,9 +109,11 @@ func main() {
 		MaxPending: *maxPending,
 		RetainJobs: *retainJobs,
 		RetainAge:  *retainAge,
+		Logger:     logger,
 	})
+	campaigns := campaign.NewManager(sched)
 
-	handler := http.Handler(service.NewHandler(sched))
+	handler := http.Handler(service.NewHandler(sched, campaigns.Routes()...))
 	if *pprofOn {
 		// Opt-in profiling: the pprof handlers are routed explicitly on a
 		// wrapper mux instead of importing them onto http.DefaultServeMux,

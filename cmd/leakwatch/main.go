@@ -1,0 +1,436 @@
+// Command leakwatch is a terminal dashboard over a running leakserved: it
+// submits (or attaches to) a campaign and renders its convergence live from
+// the ND-JSON event stream — per-point shots, Wilson half-width against
+// target, warm/cold split, shots-to-target and ETA — with a /metrics
+// snapshot-diff footer showing what the server as a whole is doing
+// (simulation rate, cold vs cached jobs) over the watch window.
+//
+//	# submit a manifest and watch it converge
+//	leakwatch -url http://localhost:8714 -manifest figure14.json
+//
+//	# attach to a campaign submitted elsewhere (replays retained telemetry)
+//	leakwatch -url http://localhost:8714 -id c1
+//
+// With -no-ansi (or when not rendering to a terminal worth clearing) it
+// prints one compact status line per refresh instead of redrawing — the mode
+// CI logs want.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8714", "leakserved base URL")
+		manifest = flag.String("manifest", "", "campaign manifest JSON to submit and watch (\"-\" = stdin)")
+		id       = flag.String("id", "", "attach to an existing campaign instead of submitting")
+		refresh  = flag.Duration("refresh", 500*time.Millisecond, "render interval")
+		noANSI   = flag.Bool("no-ansi", false, "append status lines instead of redrawing the screen")
+		noScrape = flag.Bool("no-metrics", false, "skip the /metrics snapshot-diff footer")
+	)
+	flag.Parse()
+	if err := run(*url, *manifest, *id, *refresh, *noANSI, !*noScrape, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "leakwatch: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, manifest, id string, refresh time.Duration, noANSI, scrape bool, out io.Writer) error {
+	switch {
+	case manifest != "" && id != "":
+		return fmt.Errorf("-manifest and -id are mutually exclusive")
+	case manifest == "" && id == "":
+		return fmt.Errorf("need -manifest to submit or -id to attach")
+	}
+	if manifest != "" {
+		sub, err := submitManifest(url, manifest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "campaign %s (%d points)\n", sub.Campaign, len(sub.Points))
+		for _, pt := range sub.Points {
+			fmt.Fprintf(out, "  %-28s job=%s key=%s\n", pt.Point, pt.Job, shortKey(pt.Key))
+		}
+		id = sub.Campaign
+	}
+
+	d := newDash(id)
+	if scrape {
+		if snap, err := scrapeMetrics(url); err == nil {
+			d.baseline(snap)
+		}
+	}
+	streamDone := make(chan error, 1)
+	go func() { streamDone <- d.follow(url) }()
+
+	tick := time.NewTicker(refresh)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-streamDone:
+			if scrape {
+				if snap, serr := scrapeMetrics(url); serr == nil {
+					d.observeMetrics(snap)
+				}
+			}
+			fmt.Fprint(out, d.render(noANSI))
+			return err
+		case <-tick.C:
+			if scrape {
+				if snap, err := scrapeMetrics(url); err == nil {
+					d.observeMetrics(snap)
+				}
+			}
+			fmt.Fprint(out, d.render(noANSI))
+		}
+	}
+}
+
+func submitManifest(url, path string) (campaign.SubmitResponse, error) {
+	var sub campaign.SubmitResponse
+	var body []byte
+	var err error
+	if path == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return sub, err
+	}
+	resp, err := http.Post(url+"/v1/campaign", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sub, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return sub, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return sub, json.NewDecoder(resp.Body).Decode(&sub)
+}
+
+func scrapeMetrics(url string) (*metrics.Snapshot, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// dash accumulates the latest telemetry per point plus the metrics snapshots
+// bracketing the watch window. Rendering reads it; the stream goroutine and
+// the scrape ticker write it.
+type dash struct {
+	id      string
+	started time.Time
+
+	mu       sync.Mutex
+	points   map[string]campaign.Event
+	order    []string
+	events   int
+	finished bool
+
+	base, last *metrics.Snapshot
+	lastAt     time.Time
+}
+
+func newDash(id string) *dash {
+	return &dash{id: id, started: time.Now(), points: make(map[string]campaign.Event)}
+}
+
+func (d *dash) baseline(snap *metrics.Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.base, d.last, d.lastAt = snap, snap, time.Now()
+}
+
+func (d *dash) observeMetrics(snap *metrics.Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.base == nil {
+		d.base = snap
+	}
+	d.last, d.lastAt = snap, time.Now()
+}
+
+func (d *dash) observeEvent(ev campaign.Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, seen := d.points[ev.Point]; !seen {
+		d.order = append(d.order, ev.Point)
+	}
+	d.points[ev.Point] = ev
+	d.events++
+}
+
+// follow consumes the campaign stream to completion, reconnecting with a
+// cursor if the connection drops mid-campaign.
+func (d *dash) follow(url string) error {
+	cursor := 0
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/campaign/stream?id=%s&from=%d", url, d.id, cursor))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			return fmt.Errorf("stream: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 64<<10)
+		for sc.Scan() {
+			var ev campaign.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("bad stream line: %w", err)
+			}
+			d.observeEvent(ev)
+			cursor = ev.Seq + 1
+		}
+		err = sc.Err()
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		// Clean EOF: the server drains the stream only once the campaign is
+		// finished, so a clean close means done — but confirm against the
+		// terminal states we saw, and resume if the connection just dropped.
+		if d.allTerminal() {
+			d.mu.Lock()
+			d.finished = true
+			d.mu.Unlock()
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func (d *dash) allTerminal() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.points) == 0 {
+		return false
+	}
+	for _, ev := range d.points {
+		if ev.State == "running" {
+			return false
+		}
+	}
+	return true
+}
+
+// frame is the immutable render input: everything the dashboard shows,
+// snapshotted under the lock so render functions stay pure and testable.
+type frame struct {
+	Campaign string
+	Elapsed  time.Duration
+	Points   []campaign.Event // stream-arrival order
+	Events   int
+	Finished bool
+	// Delta is the /metrics diff since the watch started (nil without -url
+	// scraping); Window is the wall time it covers.
+	Delta  *metrics.Snapshot
+	Window time.Duration
+}
+
+func (d *dash) snapshot() frame {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := frame{
+		Campaign: d.id,
+		Elapsed:  time.Since(d.started),
+		Events:   d.events,
+		Finished: d.finished,
+	}
+	for _, label := range d.order {
+		f.Points = append(f.Points, d.points[label])
+	}
+	if d.base != nil && d.last != nil && d.last != d.base {
+		f.Delta = d.last.Sub(d.base)
+		f.Window = d.lastAt.Sub(d.started)
+	}
+	return f
+}
+
+func (d *dash) render(noANSI bool) string {
+	f := d.snapshot()
+	if noANSI {
+		return compactLine(f) + "\n"
+	}
+	return "\x1b[H\x1b[2J" + renderFrame(f)
+}
+
+// renderFrame draws the full-screen dashboard for one frame.
+func renderFrame(f frame) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %s  %s  %d events", f.Campaign,
+		f.Elapsed.Round(100*time.Millisecond), f.Events)
+	if f.Finished {
+		b.WriteString("  [done]")
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "  %-28s %-9s %9s %6s %10s %10s %8s\n",
+		"point", "state", "shots", "warm%", "half-width", "target", "eta")
+	for _, ev := range f.Points {
+		b.WriteString(renderPoint(ev))
+	}
+	if n := runningCount(f.Points); n > 0 || !f.Finished {
+		fmt.Fprintf(&b, "\n  %d/%d points running, %d converged\n",
+			n, len(f.Points), convergedCount(f.Points))
+	} else {
+		fmt.Fprintf(&b, "\n  all %d points finished, %d converged\n",
+			len(f.Points), convergedCount(f.Points))
+	}
+	if f.Delta != nil {
+		b.WriteString(renderMetricsFooter(f.Delta, f.Window))
+	}
+	return b.String()
+}
+
+// renderPoint is one dashboard row.
+func renderPoint(ev campaign.Event) string {
+	state := ev.State
+	switch {
+	case ev.State == "done" && ev.Cached:
+		state = "cached"
+	case ev.State == "done" && ev.Converged:
+		state = "done ✓"
+	case ev.State == "running" && ev.Converged:
+		state = "closing"
+	}
+	warm := "-"
+	if ev.Shots > 0 {
+		warm = fmt.Sprintf("%d%%", 100*ev.WarmShots/ev.Shots)
+	}
+	target := "-"
+	if ev.Target > 0 {
+		target = fmt.Sprintf("%.2e", ev.Target)
+	}
+	eta := "-"
+	switch {
+	case ev.State != "running":
+		eta = ""
+	case ev.ETASeconds > 0:
+		eta = (time.Duration(ev.ETASeconds * float64(time.Second))).Round(100 * time.Millisecond).String()
+	}
+	return fmt.Sprintf("  %-28s %-9s %9d %6s %10.2e %10s %8s\n",
+		ev.Point, state, ev.Shots, warm, ev.HalfWidth, target, eta)
+}
+
+// compactLine is the -no-ansi per-refresh summary.
+func compactLine(f frame) string {
+	done := len(f.Points) - runningCount(f.Points)
+	line := fmt.Sprintf("t=%-8s %s points %d/%d done, %d converged, max hw %.2e",
+		f.Elapsed.Round(100*time.Millisecond), f.Campaign,
+		done, len(f.Points), convergedCount(f.Points), maxHalfWidth(f.Points))
+	if eta := maxETA(f.Points); eta > 0 {
+		line += fmt.Sprintf(", eta %s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+	}
+	if f.Delta != nil {
+		units, _ := f.Delta.Value("leak_sched_units_total")
+		line += fmt.Sprintf(", +%d units", int64(units))
+	}
+	if f.Finished {
+		line += " [done]"
+	}
+	return line
+}
+
+// renderMetricsFooter shows what the server did over the watch window: the
+// before/after /metrics diff, the same numbers a Prometheus rate() over the
+// window would report.
+func renderMetricsFooter(delta *metrics.Snapshot, window time.Duration) string {
+	units, _ := delta.Value("leak_sched_units_total")
+	done, _ := delta.Value("leak_sched_jobs_total", "outcome", "done")
+	cached, _ := delta.Value("leak_sched_jobs_total", "outcome", "cached")
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n  server /metrics over %s: %d units", window.Round(100*time.Millisecond), int64(units))
+	if secs := window.Seconds(); secs > 0 && units > 0 {
+		fmt.Fprintf(&b, " (%.0f/s)", units/secs)
+	}
+	fmt.Fprintf(&b, ", %d cold + %d cached jobs\n", int64(done), int64(cached))
+	if states := campaignPointStates(delta); states != "" {
+		fmt.Fprintf(&b, "  campaign points this window: %s\n", states)
+	}
+	return b.String()
+}
+
+// campaignPointStates summarizes the leak_campaign_points_total deltas.
+func campaignPointStates(delta *metrics.Snapshot) string {
+	var parts []string
+	for _, state := range []string{"submitted", "done", "cached", "error"} {
+		if v, ok := delta.Value("leak_campaign_points_total", "state", state); ok && v > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", int64(v), state))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+func runningCount(pts []campaign.Event) int {
+	n := 0
+	for _, ev := range pts {
+		if ev.State == "running" {
+			n++
+		}
+	}
+	return n
+}
+
+func convergedCount(pts []campaign.Event) int {
+	n := 0
+	for _, ev := range pts {
+		if ev.Converged {
+			n++
+		}
+	}
+	return n
+}
+
+func maxHalfWidth(pts []campaign.Event) float64 {
+	hw := 0.0
+	for _, ev := range pts {
+		if ev.HalfWidth > hw {
+			hw = ev.HalfWidth
+		}
+	}
+	return hw
+}
+
+func maxETA(pts []campaign.Event) float64 {
+	eta := 0.0
+	for _, ev := range pts {
+		if ev.State == "running" && ev.ETASeconds > eta {
+			eta = ev.ETASeconds
+		}
+	}
+	return eta
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -154,6 +154,15 @@ type ResultResponse struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// Route is an extra endpoint mounted onto the handler NewHandler builds.
+// Subsystems layered on the scheduler (the campaign manager) contribute
+// their endpoints this way, so they ride the same per-route metrics
+// middleware as the built-in routes.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewHandler returns the HTTP front end over the scheduler:
 //
 //	POST   /v1/run     submit a config (+ optional precision); 202 + job
@@ -166,14 +175,18 @@ type ResultResponse struct {
 //	GET    /v1/trace   ?job=ID — the job's span-event trace (admission,
 //	                   chunk issues, sim/decode stage times, merges, retries)
 //	GET    /v1/healthz liveness, build identity, uptime + load counters
+//	                   (plus every RegisterHealth contribution)
 //	GET    /metrics    Prometheus text-format exposition of every registered
 //	                   store/scheduler/stage/chaos/HTTP series
 //
-// Every route is wrapped in a middleware recording per-route request latency
-// (leak_http_request_seconds) and status-code counts
-// (leak_http_requests_total) into the scheduler's registry.
-func NewHandler(s *Scheduler) http.Handler {
+// Every route — extras included — is wrapped in a middleware recording
+// per-route request latency (leak_http_request_seconds) and status-code
+// counts (leak_http_requests_total) into the scheduler's registry.
+func NewHandler(s *Scheduler, extra ...Route) http.Handler {
 	mux := newInstrumentedMux(s.Registry())
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
@@ -228,7 +241,15 @@ func NewHandler(s *Scheduler) http.Handler {
 		enc := json.NewEncoder(w)
 		ticker := time.NewTicker(50 * time.Millisecond)
 		defer ticker.Stop()
+		ctx := r.Context()
 		for {
+			// A disconnected client must stop the poll loop at the next tick:
+			// once the context dies the select below stays permanently ready
+			// on two branches, so without this check the loop could keep
+			// winning the ticker race and writing into a dead connection.
+			if ctx.Err() != nil {
+				return
+			}
 			// One interim tally per tick, then the final snapshot.
 			st := job.Status()
 			if err := enc.Encode(st); err != nil {
@@ -243,7 +264,7 @@ func NewHandler(s *Scheduler) http.Handler {
 			select {
 			case <-job.Done():
 			case <-ticker.C:
-			case <-r.Context().Done():
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -260,7 +281,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		// Build identity + uptime let a liveness probe tell a fresh restart
 		// from a long-running instance; the corruption-repair count surfaces
 		// silent disk damage the store healed on its own.
-		writeJSONStatus(w, http.StatusOK, map[string]any{
+		payload := map[string]any{
 			"ok":                       true,
 			"build":                    BuildInfo(),
 			"uptime_seconds":           time.Since(s.Start()).Seconds(),
@@ -270,8 +291,17 @@ func NewHandler(s *Scheduler) http.Handler {
 			"draining":                 s.Draining(),
 			"sim_ns":                   simNS,
 			"decode_ns":                decodeNS,
+			"trace_drops":              s.TraceDrops(),
 			"store_corruption_repairs": s.Store().Counters().CorruptionsRepaired,
-		})
+		}
+		// Registered contributors (the campaign manager's counts) merge in
+		// under their names; built-in keys win on collision.
+		for name, v := range s.healthContributions() {
+			if _, taken := payload[name]; !taken {
+				payload[name] = v
+			}
+		}
+		writeJSONStatus(w, http.StatusOK, payload)
 	})
 	mux.Handle("/metrics", s.Registry().Handler())
 	return mux

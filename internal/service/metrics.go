@@ -110,6 +110,12 @@ func newInstruments(reg *metrics.Registry, s *Scheduler) *instruments {
 	reg.GaugeFunc("leak_uptime_seconds",
 		"seconds since the scheduler was constructed",
 		func() float64 { return time.Since(s.start).Seconds() })
+	// Trace-ring evictions were previously visible only inside each job's
+	// TraceView; the scheduler-wide total tells an operator that span history
+	// is being truncated without reading every trace.
+	reg.CounterFunc("leak_trace_drops_total",
+		"span events evicted from per-job bounded trace rings",
+		func() int64 { return s.traceDrops.Load() })
 
 	// Store counters: the store keeps plain atomics (it must not depend on
 	// the metrics package); the registry reads a snapshot per scrape.

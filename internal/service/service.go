@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"math/rand/v2"
 	"runtime"
 	"strconv"
@@ -122,6 +124,12 @@ type Options struct {
 	// stage-latency, chaos series). nil = a fresh registry, retrievable via
 	// Scheduler.Registry(); pass one to share a registry across subsystems.
 	Registry *metrics.Registry
+	// Logger receives the scheduler's structured log stream. Every record
+	// carries the same identifiers the span traces and metric labels use
+	// (job, key, unit_lo/unit_hi, outcome), so one grep on a job ID lines the
+	// three signals up. nil discards — library embedders opt in, servers
+	// (cmd/leakserved) wire a JSON handler.
+	Logger *slog.Logger
 }
 
 // Defaults for Options zero values.
@@ -180,6 +188,20 @@ type Scheduler struct {
 	// its stripe for its whole lifetime.
 	keyLocks [64]sync.Mutex
 
+	// healthMu/health hold named liveness contributors (RegisterHealth):
+	// subsystems layered on the scheduler — the campaign manager — publish
+	// their own counts into /v1/healthz without the service importing them.
+	healthMu sync.Mutex
+	health   map[string]func() any
+
+	// traceDrops counts span events evicted from every job's bounded trace
+	// ring, exposed as leak_trace_drops_total.
+	traceDrops atomic.Int64
+
+	// log is the structured logger (Options.Logger; a discard logger when
+	// unset, never nil).
+	log *slog.Logger
+
 	units atomic.Int64
 	// wideUnits/narrowUnits/scalarUnits split the executed-unit total by the
 	// engine width that ran them (256-lane wide blocks, 64-lane narrow words,
@@ -225,6 +247,9 @@ func NewWithOptions(st *store.Store, opts Options) *Scheduler {
 	if opts.Registry == nil {
 		opts.Registry = metrics.NewRegistry()
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Scheduler{
 		store:      st,
@@ -234,6 +259,8 @@ func NewWithOptions(st *store.Store, opts Options) *Scheduler {
 		cancelBase: cancel,
 		inflight:   make(map[string]*Job),
 		jobs:       make(map[string]*Job),
+		health:     make(map[string]func() any),
+		log:        opts.Logger,
 		start:      time.Now(),
 	}
 	s.ins = newInstruments(opts.Registry, s)
@@ -243,6 +270,39 @@ func NewWithOptions(st *store.Store, opts Options) *Scheduler {
 // Registry returns the metrics registry carrying the scheduler's inventory
 // (plus the store, chaos and — once NewHandler wraps it — HTTP series).
 func (s *Scheduler) Registry() *metrics.Registry { return s.opts.Registry }
+
+// Logger returns the scheduler's structured logger (a discard logger unless
+// Options.Logger was set). Subsystems layered on the scheduler log through
+// it so every signal lands in one correlated stream.
+func (s *Scheduler) Logger() *slog.Logger { return s.log }
+
+// RegisterHealth installs a named contributor whose value is embedded in the
+// /v1/healthz payload under its name. Contributors are read per probe; they
+// must be cheap and concurrency-safe. Re-registering a name replaces it.
+func (s *Scheduler) RegisterHealth(name string, fn func() any) {
+	s.healthMu.Lock()
+	s.health[name] = fn
+	s.healthMu.Unlock()
+}
+
+// healthContributions snapshots every registered health contributor.
+func (s *Scheduler) healthContributions() map[string]any {
+	s.healthMu.Lock()
+	fns := make(map[string]func() any, len(s.health))
+	for name, fn := range s.health {
+		fns[name] = fn
+	}
+	s.healthMu.Unlock()
+	out := make(map[string]any, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// TraceDrops returns how many span events have been evicted from per-job
+// trace rings since construction (the leak_trace_drops_total reading).
+func (s *Scheduler) TraceDrops() int64 { return s.traceDrops.Load() }
 
 // Start returns when the scheduler was constructed (the uptime anchor).
 func (s *Scheduler) Start() time.Time { return s.start }
@@ -482,7 +542,7 @@ func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) 
 		prec:  prec,
 		done:  make(chan struct{}),
 		warm:  warm,
-		trace: newTrace(),
+		trace: newTrace(&s.traceDrops),
 	}
 	admitNote := "cold"
 	if warm {
@@ -502,6 +562,8 @@ func (s *Scheduler) Submit(cfg experiment.Config, prec Precision) (*Job, error) 
 	s.jobs[j.ID] = j
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.log.Info("job admitted", "job", j.ID, "key", key, "warm", warm,
+		"desc", cfg.Describe(), "adaptive", prec.Adaptive())
 	go s.execute(j, fp)
 	return j, nil
 }
@@ -639,16 +701,26 @@ func (s *Scheduler) execute(j *Job, fp string) {
 		j.mu.Lock()
 		jerr, cached := j.err, j.unitsRun == 0
 		j.mu.Unlock()
+		outcome := "done"
 		switch {
 		case jerr != nil:
 			s.ins.jobsError.Inc()
 			j.trace.add(SpanEvent{Kind: SpanDone, Note: jerr.Error()})
+			outcome = "error"
 		case cached:
 			s.ins.jobsCached.Inc()
 			j.trace.add(SpanEvent{Kind: SpanDone, Note: "cached"})
+			outcome = "cached"
 		default:
 			s.ins.jobsDone.Inc()
 			j.trace.add(SpanEvent{Kind: SpanDone})
+		}
+		logArgs := []any{"job", j.ID, "key", j.Key, "outcome", outcome,
+			"units", j.unitsRunSoFar(), "dur_ms", float64(time.Since(j.trace.start)) / float64(time.Millisecond)}
+		if jerr != nil {
+			s.log.Warn("job done", append(logArgs, "err", jerr.Error())...)
+		} else {
+			s.log.Info("job done", logArgs...)
 		}
 		s.mu.Lock()
 		delete(s.inflight, fp)
@@ -699,6 +771,8 @@ func (s *Scheduler) execute(j *Job, fp string) {
 			}
 			s.ins.chunkReissues.Inc()
 			j.trace.add(SpanEvent{Kind: SpanRetry, Attempt: attempts, Note: err.Error()})
+			s.log.Warn("chunk retry", "job", j.ID, "key", j.Key,
+				"attempt", attempts, "err", err.Error())
 			sleepCtx(j.ctx, backoffDelay(attempts))
 			continue
 		}
@@ -766,6 +840,7 @@ func (s *Scheduler) step(j *Job) (t *experiment.Tally, ran int, m experiment.Met
 		hi++
 	}
 	j.trace.add(SpanEvent{Kind: SpanChunkIssue, UnitLo: lo, UnitHi: hi})
+	s.log.Debug("chunk issued", "job", j.ID, "key", j.Key, "unit_lo", lo, "unit_hi", hi)
 	delta, m, runErr := s.runChunk(j.ctx, cfg, lo, hi)
 	if m.SimNS > 0 || m.DecodeNS > 0 {
 		// Per-chunk stage distributions; the bare nanosecond totals for

@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,6 +45,11 @@ const traceCap = 512
 // costs nothing measurable next to the simulation work it describes.
 type trace struct {
 	start time.Time
+	// drops, when non-nil, is the scheduler-wide eviction counter behind
+	// leak_trace_drops_total: per-job rings know how many of their own events
+	// fell off (seq - len), but an operator watching /metrics needs one
+	// number that says "traces are being truncated somewhere".
+	drops *atomic.Int64
 
 	mu      sync.Mutex
 	events  []SpanEvent // ring storage, len <= traceCap
@@ -52,8 +58,8 @@ type trace struct {
 	retries int
 }
 
-func newTrace() *trace {
-	return &trace{start: time.Now()}
+func newTrace(drops *atomic.Int64) *trace {
+	return &trace{start: time.Now(), drops: drops}
 }
 
 // add appends one event, evicting the oldest when the ring is full.
@@ -70,6 +76,9 @@ func (t *trace) add(ev SpanEvent) {
 	} else {
 		t.events[t.head] = ev
 		t.head = (t.head + 1) % traceCap
+		if t.drops != nil {
+			t.drops.Add(1)
+		}
 	}
 	t.mu.Unlock()
 }
